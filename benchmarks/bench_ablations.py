@@ -1,0 +1,18 @@
+"""Benchmark/regeneration of the ablations A-F over secondary variables."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(render):
+    result = render(ablations.run, seed=0)
+    rows = {(r[0], r[1]): r[2] for r in result.rows}
+    # C: more successors help neighbor injection
+    assert (
+        rows[("C", "numSuccessors=10 (neighbor)")]
+        <= rows[("C", "numSuccessors=5 (neighbor)")] + 0.1
+    )
+    # E: churn does not help random injection (within noise)
+    assert (
+        rows[("E", "random injection + churn=0.01")]
+        >= rows[("E", "random injection + churn=0.0")] - 0.25
+    )

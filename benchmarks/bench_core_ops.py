@@ -1,0 +1,122 @@
+"""Micro-benchmarks of the simulator's hot primitives.
+
+Not a paper artifact: these track the performance engineering that makes
+the 100-trial paper-scale sweeps feasible (see DESIGN.md §5) —
+vectorized consumption, key assignment, and split/merge costs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.hashspace.idspace import SPACE_64
+from repro.sim.arcops import responsible_slots
+from repro.sim.engine import TickEngine
+from repro.sim.state import RingState
+from repro.sim.workload import draw_task_keys, draw_unique_ids
+
+
+@pytest.fixture
+def loaded_state(rng=None):
+    rng = np.random.default_rng(0)
+    ids = draw_unique_ids(1000, SPACE_64, rng)
+    keys = draw_task_keys(100_000, SPACE_64, rng)
+    return RingState.build(
+        SPACE_64, ids, np.arange(1000, dtype=np.int64), keys, rng
+    )
+
+
+def test_initial_assignment_1m_keys(benchmark):
+    """Sorting + bucketing one million task keys onto 1000 nodes."""
+    rng = np.random.default_rng(0)
+    ids = np.sort(draw_unique_ids(1000, SPACE_64, rng))
+    keys = draw_task_keys(1_000_000, SPACE_64, rng)
+
+    def assign():
+        return responsible_slots(ids, keys)
+
+    slots = benchmark(assign)
+    assert slots.shape == keys.shape
+
+
+def test_engine_tick_throughput_baseline(benchmark):
+    """Ticks/second on the vectorized fast path (no Sybils)."""
+    engine = TickEngine(
+        SimulationConfig(n_nodes=1000, n_tasks=1_000_000, seed=0)
+    )
+
+    def hundred_ticks():
+        for _ in range(100):
+            engine.step()
+
+    benchmark.pedantic(hundred_ticks, rounds=3, iterations=1)
+    assert engine.tick >= 300
+
+
+def test_engine_tick_throughput_with_sybils(benchmark):
+    """Ticks/second on the multi-slot path (random injection active)."""
+    engine = TickEngine(
+        SimulationConfig(
+            strategy="random_injection",
+            n_nodes=1000,
+            n_tasks=1_000_000,
+            seed=0,
+        )
+    )
+    for _ in range(30):  # warm up: let sybils appear
+        engine.step()
+
+    def fifty_ticks():
+        for _ in range(50):
+            engine.step()
+
+    benchmark.pedantic(fifty_ticks, rounds=3, iterations=1)
+    assert engine.state.n_sybil_slots > 0
+
+
+def test_split_merge_cycle(benchmark, loaded_state):
+    """Insert a Sybil into the heaviest slot, then remove it."""
+    state = loaded_state
+    rng = np.random.default_rng(1)
+
+    def cycle():
+        slot = int(np.argmax(state.counts))
+        start, end = state.slot_arc(slot)
+        ident = state.space.random_in_interval(rng, start, end)
+        if state.id_exists(ident):
+            return
+        pos, _ = state.insert_slot(ident, owner=2000, is_main=False)
+        state.remove_slot(pos)
+
+    benchmark(cycle)
+    state.verify_invariants()
+
+
+def test_full_trial_baseline(benchmark):
+    """One full no-strategy trial at paper scale (1000n / 1e5t)."""
+
+    def trial():
+        return TickEngine(
+            SimulationConfig(n_nodes=1000, n_tasks=100_000, seed=1)
+        ).run()
+
+    result = benchmark.pedantic(trial, rounds=1, iterations=1)
+    assert result.completed
+
+
+def test_full_trial_random_injection(benchmark):
+    """One full random-injection trial at paper scale (1000n / 1e5t)."""
+
+    def trial():
+        return TickEngine(
+            SimulationConfig(
+                strategy="random_injection",
+                n_nodes=1000,
+                n_tasks=100_000,
+                seed=1,
+            )
+        ).run()
+
+    result = benchmark.pedantic(trial, rounds=1, iterations=1)
+    assert result.completed
+    assert result.runtime_factor < 2.5

@@ -1,0 +1,59 @@
+"""Benchmark/regeneration of the extension experiments.
+
+Covers the four extension studies: skewed key distributions, the §VII
+future-work strategies, the churn maintenance-cost frontier (footnote 2
+made quantitative), and streaming task arrivals.
+"""
+
+from repro.experiments import (
+    ext_arrivals,
+    ext_future_work,
+    ext_maintenance,
+    ext_skew,
+)
+
+
+def test_ext_skew(render):
+    result = render(ext_skew.run, seed=0)
+    m = result.data["measured"]
+    # skew inflates the baseline...
+    assert m[("zipf", "none")] > 2 * m[("uniform", "none")]
+    # ...and random injection stays the most robust rescuer
+    assert m[("zipf", "random_injection")] < m[("zipf", "neighbor_injection")]
+    assert m[("zipf", "random_injection")] < m[("zipf", "invitation")]
+
+
+def test_ext_future_work(render):
+    result = render(ext_future_work.run, seed=0)
+    m = result.data["measured"]
+    # every variant still massively beats no-strategy
+    assert m["strength_invitation|hetero"] < m["none|hetero"]
+    assert m["proportional_injection|hetero"] < m["none|hetero"]
+    assert m["relocation|homog"] < m["none|homog"]
+    # homogeneous proportional == random injection (p = 1 short-circuit)
+    assert abs(
+        m["proportional_injection|homog"] - m["random_injection|homog"]
+    ) < 1e-9
+
+
+def test_ext_maintenance(render):
+    result = render(ext_maintenance.run, seed=0)
+    m = result.data["measured"]
+    rates = sorted(m)
+    # factors fall with churn while key-transfer volume rises
+    factors = [m[r]["factor"] for r in rates]
+    moved = [m[r]["keys_moved"] for r in rates]
+    assert factors[0] > factors[-1]
+    assert moved[0] < moved[-1]
+    # the Sybil point dominates the whole frontier
+    assert result.data["sybil_factor"] < min(factors)
+
+
+def test_ext_arrivals(render):
+    result = render(ext_arrivals.run, seed=0)
+    m = result.data["measured"]
+    assert (
+        m["random_injection"]["drain_after_arrivals"]
+        < m["none"]["drain_after_arrivals"]
+    )
+    assert m["random_injection"]["factor"] < m["none"]["factor"]

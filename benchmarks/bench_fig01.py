@@ -1,0 +1,10 @@
+"""Benchmark/regeneration of Figure 1 — workload distribution."""
+
+from repro.experiments import fig01_distribution
+
+
+def test_fig01(render):
+    result = render(fig01_distribution.run, seed=0)
+    rows = {r[0]: r[1] for r in result.rows}
+    assert 650 < rows["median workload"] < 740
+    assert rows["fraction above 10000 tasks"] > 0

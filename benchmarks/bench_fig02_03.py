@@ -1,0 +1,10 @@
+"""Benchmark/regeneration of Figures 2-3 — ring visual layouts."""
+
+from repro.experiments import fig02_03_ring
+
+
+def test_fig02_03(render):
+    result = render(fig02_03_ring.run, seed=0)
+    by_label = {r[0]: r for r in result.rows}
+    # hashed nodes spread worse (or equal) than evenly spaced ones
+    assert by_label["fig2 hashed"][4] >= by_label["fig3 even"][4]

@@ -1,0 +1,12 @@
+"""Benchmark/regeneration of Figures 4-6 — churn histograms."""
+
+from repro.experiments import fig04_06_churn
+
+
+def test_fig04_06(render):
+    result = render(fig04_06_churn.run, seed=0)
+    h = result.data["histograms"]
+    churn0, none0 = h[0]
+    assert (churn0.counts == none0.counts).all()  # Fig 4: identical start
+    churn35, none35 = h[35]
+    assert churn35.stats.idle_fraction < none35.stats.idle_fraction  # Fig 6

@@ -1,0 +1,11 @@
+"""Benchmark/regeneration of Figures 7-9 — random injection histograms."""
+
+from repro.experiments import fig07_09_random
+
+
+def test_fig07_09(render):
+    result = render(fig07_09_random.run, seed=0)
+    inj5, none5 = result.data["fig07_08"].data["histograms"][5]
+    assert inj5.stats.idle_fraction < none5.stats.idle_fraction  # Fig 7
+    inj35, churn35 = result.data["fig09"].data["histograms"][35]
+    assert inj35.stats.idle_fraction < churn35.stats.idle_fraction  # Fig 9

@@ -1,0 +1,10 @@
+"""Benchmark/regeneration of Figure 10 — heterogeneous networks."""
+
+from repro.experiments import fig10_hetero
+
+
+def test_fig10(render):
+    result = render(fig10_hetero.run, seed=0)
+    inj, none = result.data["histograms"][35]
+    assert inj.stats.idle_fraction < none.stats.idle_fraction
+    assert inj.stats.gini < none.stats.gini

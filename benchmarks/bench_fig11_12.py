@@ -1,0 +1,11 @@
+"""Benchmark/regeneration of Figures 11-12 — neighbor injection."""
+
+from repro.experiments import fig11_12_neighbor
+
+
+def test_fig11_12(render):
+    result = render(fig11_12_neighbor.run, seed=0)
+    neighbor, none = result.data["fig11"].data["histograms"][35]
+    assert neighbor.stats.max < none.stats.max  # paper: ~450 vs ~650
+    smart, none12 = result.data["fig12"].data["histograms"][35]
+    assert smart.stats.max < none12.stats.max

@@ -1,0 +1,9 @@
+"""Benchmark/regeneration of Figures 13-14 — invitation."""
+
+from repro.experiments import fig13_14_invitation
+
+
+def test_fig13_14(render):
+    result = render(fig13_14_invitation.run, seed=0)
+    inv, none = result.data["fig13"].data["histograms"][35]
+    assert inv.stats.max < none.stats.max  # paper: ~500 vs ~650

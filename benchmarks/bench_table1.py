@@ -1,0 +1,12 @@
+"""Benchmark/regeneration of Table I — median task distribution."""
+
+from repro.experiments import table1
+
+
+def test_table1(render):
+    result = render(table1.run, seed=0)
+    # sanity: the exponential signature holds in the regenerated rows
+    for row in result.rows:
+        n_nodes, n_tasks, median = row[0], row[1], row[2]
+        mean = n_tasks / n_nodes
+        assert 0.6 * mean < median < 0.8 * mean  # ~ln2 * mean

@@ -1,0 +1,19 @@
+"""Benchmark/regeneration of Table II — runtime factor under churn."""
+
+from repro.experiments import table2
+
+
+def test_table2(render):
+    result = render(table2.run, seed=0)
+    measured = result.data["measured"]
+    networks = result.data["networks"]
+    # shape: for every network, factors fall monotonically with churn
+    for net in networks:
+        series = [measured[churn][net] for churn in table2.CHURN_RATES]
+        assert all(a >= b - 0.15 for a, b in zip(series, series[1:])), (
+            net,
+            series,
+        )
+    # churn gains grow with the task count (paper's key observation),
+    # compared at fixed node count
+    assert measured[0.01][(1000, 1_000_000)] < measured[0.01][(1000, 100_000)]

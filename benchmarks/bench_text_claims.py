@@ -1,0 +1,15 @@
+"""Benchmark/regeneration of the §VI scalar text claims (T1-T6)."""
+
+from repro.experiments import text_claims
+
+
+def test_text_claims(render):
+    result = render(text_claims.run, seed=0)
+    d = result.data
+    # relational pass criteria (see module docstring)
+    assert d["random_1000n_1e5t"] < d["smart_1000n_1e5t"]
+    assert d["smart_1000n_1e5t"] < d["neighbor_1000n_1e5t"]
+    assert d["neighbor_1000n_1e5t"] < d["none_1000n_1e5t"]
+    assert d["invitation_1000n_1e5t"] < d["none_1000n_1e5t"]
+    assert d["invitation_100n_1e5t"] < d["invitation_1000n_1e5t"]
+    assert d["random_1000n_1e6t"] < d["random_1000n_1e5t"]

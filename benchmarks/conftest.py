@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures (at ``quick`` scale by default — set ``REPRO_SCALE=full`` for
+the paper's 100-trial versions) and reports the wall time through
+pytest-benchmark.  The reproduced rows are printed so the benchmark run
+doubles as the experiment log backing EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.spec import ExperimentResult
+
+
+def run_and_render(benchmark, fn, **kwargs) -> ExperimentResult:
+    """Run an experiment once under the benchmark timer and print it."""
+    result = benchmark.pedantic(
+        lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def render(benchmark):
+    def _run(fn, **kwargs) -> ExperimentResult:
+        return run_and_render(benchmark, fn, **kwargs)
+
+    return _run

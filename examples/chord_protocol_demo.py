@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The protocol substrate in action: real Chord, failures, and Sybils.
+
+Everything the tick simulator assumes is shown working at the protocol
+level here:
+
+1. build a 40-node Chord ring with 160-bit SHA-1 identifiers;
+2. store data, verify O(log N) lookups;
+3. crash nodes and show that active backups lose nothing;
+4. run the Random Injection strategy with *real* protocol joins and
+   watch the same speedup the paper measures in simulation.
+
+Run:  python examples/chord_protocol_demo.py
+"""
+
+import numpy as np
+
+from repro.chord import ChordRing, ProtocolSimulation
+from repro.config import SimulationConfig
+from repro.hashspace import SPACE_160
+
+
+def main() -> None:
+    # -- 1. build and verify ------------------------------------------------
+    ring = ChordRing.create(40, seed=5)
+    ring.verify()
+    print(f"Built a Chord ring of {len(ring.network)} nodes (160-bit SHA-1 ids).")
+
+    # -- 2. data and routing ----------------------------------------------
+    rng = np.random.default_rng(9)
+    keys = [SPACE_160.random_id(rng) for _ in range(300)]
+    for key in keys:
+        ring.put(key, f"value-{key % 997}")
+    hops = ring.lookup_hops_sample(200)
+    print(
+        f"Stored 300 items. Lookup hops: mean={hops.mean():.2f}, "
+        f"max={int(hops.max())} (log2(40)≈5.3)."
+    )
+
+    # -- 3. failures --------------------------------------------------------
+    for _ in range(2):
+        ring.maintenance_round()  # replicate everywhere first
+    victims = ring.network.alive_ids()[::10][:4]
+    for victim in victims:
+        ring.fail_node(victim)
+    for _ in range(6):
+        ring.maintenance_round()
+    ring.verify()
+    intact = all(ring.get(k)[0] == f"value-{k % 997}" for k in keys)
+    print(
+        f"Crashed {len(victims)} nodes without warning -> ring re-stabilized, "
+        f"all data intact: {intact}."
+    )
+
+    # -- 4. the paper's strategy over real protocol joins -------------------
+    print("\nRunning the same computation with and without Sybil balancing")
+    print("(50 hosts, 2000 tasks, real Chord joins/transfers):")
+    for strategy in ("none", "random_injection"):
+        config = SimulationConfig(
+            strategy=strategy, n_nodes=50, n_tasks=2000, bits=48, seed=3
+        )
+        out = ProtocolSimulation(config).run()
+        print(
+            f"  {strategy:18s} runtime factor = "
+            f"{out['runtime_factor']:.2f} "
+            f"({out['runtime_ticks']} ticks, "
+            f"{out['network_messages']} protocol messages)"
+        )
+
+
+if __name__ == "__main__":
+    main()

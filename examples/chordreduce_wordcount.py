@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""ChordReduce word count — the paper's motivating application.
+
+A MapReduce job (word counting over synthetic documents) executed on a
+simulated Chord DHT, once with no balancing and once with each Sybil
+strategy.  Balanced runs finish the map phase in substantially fewer
+ticks because no single node ends up the straggler.
+
+Run:  python examples/chordreduce_wordcount.py
+"""
+
+from repro.apps import word_count
+from repro.util.tables import format_table
+
+WORDS = (
+    "chord sybil churn balance node task ring hash key virtual "
+    "distributed decentralized exascale volunteer overlay"
+).split()
+
+
+def make_documents(n_docs: int = 400, words_per_doc: int = 12) -> list[str]:
+    import random
+
+    rng = random.Random(99)
+    return [
+        " ".join(rng.choice(WORDS) for _ in range(words_per_doc))
+        for _ in range(n_docs)
+    ]
+
+
+def main() -> None:
+    documents = make_documents()
+    reference: dict[str, int] | None = None
+    rows = []
+    for strategy in (
+        "none",
+        "random_injection",
+        "smart_neighbor_injection",
+        "invitation",
+    ):
+        counts, report = word_count(
+            documents, n_nodes=40, strategy=strategy, seed=17
+        )
+        if reference is None:
+            reference = counts
+        assert counts == reference, "strategies must not change results"
+        rows.append(
+            [
+                strategy,
+                report.map_ticks,
+                round(report.map_factor, 2),
+                report.reduce_ticks,
+                report.total_ticks,
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "map ticks", "map factor", "reduce ticks", "total"],
+            rows,
+            title=(
+                f"Word count: {len(documents)} documents on a 40-node "
+                "Chord DHT (results identical across strategies)"
+            ),
+        )
+    )
+    top = sorted(reference.items(), key=lambda kv: -kv[1])[:5]
+    print("\nTop words:", ", ".join(f"{w}={c}" for w, c in top))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Heterogeneous volunteer clusters (paper §VI-B, Figure 10).
+
+Folding@Home-style networks mix fast and slow machines.  The paper
+models this with per-node *strength* ∈ 1..maxSybils controlling both
+the Sybil budget and (optionally) the per-tick consumption rate — and
+finds that Sybil balancing still helps, but less: weak nodes steal work
+from strong ones and then take longer to finish it.
+
+This example reproduces that story: homogeneous vs heterogeneous
+networks, with and without strength-based consumption, and the
+maxSybils=5 vs 10 disparity effect.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from repro import SimulationConfig, run_trials
+from repro.util.tables import format_table
+
+
+def mean_factor(**kwargs) -> float:
+    config = SimulationConfig(n_nodes=500, n_tasks=50_000, seed=23, **kwargs)
+    return run_trials(config, 3).mean_factor
+
+
+def main() -> None:
+    rows = []
+    for strategy in ("none", "random_injection"):
+        homog = mean_factor(strategy=strategy)
+        hetero = mean_factor(strategy=strategy, heterogeneous=True)
+        hetero_strength = mean_factor(
+            strategy=strategy,
+            heterogeneous=True,
+            work_measurement="strength",
+        )
+        rows.append([strategy, homog, hetero, hetero_strength])
+    print(
+        format_table(
+            [
+                "strategy",
+                "homogeneous",
+                "hetero (1 task/tick)",
+                "hetero (strength/tick)",
+            ],
+            rows,
+            title=(
+                "Mean runtime factor, 500 nodes / 50k tasks (3 trials). "
+                "Note: with strength-based consumption the ideal runtime "
+                "uses aggregate capacity."
+            ),
+        )
+    )
+
+    rows = []
+    for max_sybils in (5, 10):
+        factor = mean_factor(
+            strategy="random_injection",
+            heterogeneous=True,
+            work_measurement="strength",
+            max_sybils=max_sybils,
+        )
+        rows.append([max_sybils, factor])
+    print()
+    print(
+        format_table(
+            ["maxSybils (strength range)", "mean factor"],
+            rows,
+            title=(
+                "Greater strength disparity hurts heterogeneous networks "
+                "(paper §VI-B-1: +0.3..1 factor going 1..5 -> 1..10)"
+            ),
+        )
+    )
+    print(
+        "\nThe paper's conclusion: the workload gets *balanced* in "
+        "heterogeneous networks, but\nefficiency does not improve as much "
+        "— weak nodes acquire work faster than they can finish it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: watch the Sybil attack balance a DHT computation.
+
+Builds two identical Chord networks holding the same distributed job —
+one runs the paper's Random Injection strategy, one does nothing — and
+compares how long they take to finish and how the workload distribution
+evolves.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SimulationConfig, run_simulation
+from repro.metrics import load_stats
+from repro.sim import TickEngine
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    base = SimulationConfig(
+        strategy="none",
+        n_nodes=500,
+        n_tasks=50_000,  # 100 tasks per node; ideal runtime = 100 ticks
+        seed=42,
+    )
+    sybil = base.with_updates(strategy="random_injection")
+
+    # -- peek at the initial imbalance ------------------------------------
+    engine = TickEngine(base)
+    stats = load_stats(engine.network_loads())
+    print("Initial workload distribution (hash-assigned):")
+    print(
+        f"  mean={stats.mean:.0f}  median={stats.median:.0f}  "
+        f"max={stats.max}  gini={stats.gini:.2f}"
+    )
+    print(
+        "  -> the median node holds ~69% of the fair share; one node "
+        f"holds {stats.max / stats.mean:.1f}x it.\n"
+    )
+
+    # -- run both networks to completion --------------------------------
+    rows = []
+    for config in (base, sybil):
+        result = run_simulation(config)
+        rows.append(
+            [
+                config.strategy,
+                result.runtime_ticks,
+                f"{result.ideal_ticks:.0f}",
+                round(result.runtime_factor, 2),
+                result.counters.get("sybils_created", 0),
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "ticks", "ideal", "runtime factor", "sybils made"],
+            rows,
+            title="Same job, same starting network:",
+        )
+    )
+    print(
+        "\nRandom injection lets idle nodes re-enter the ring at random "
+        "addresses as Sybils,\nacquiring leftover work — runtime "
+        "approaches the ideal instead of ~6x it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Analysis beyond raw metrics: closed-form theory and trajectory profiles."""
+
+from repro.analysis.convergence import (
+    ConvergenceProfile,
+    profile_run,
+    utilization_auc,
+)
+from repro.analysis.theory import (
+    expected_baseline_factor,
+    expected_idle_fraction,
+    expected_max_workload,
+    expected_median_workload,
+    expected_workload_std,
+    harmonic,
+    predicted_histogram,
+    workload_ccdf,
+)
+
+__all__ = [
+    "harmonic",
+    "expected_baseline_factor",
+    "expected_median_workload",
+    "expected_workload_std",
+    "expected_max_workload",
+    "expected_idle_fraction",
+    "workload_ccdf",
+    "predicted_histogram",
+    "ConvergenceProfile",
+    "profile_run",
+    "utilization_auc",
+]

@@ -1,0 +1,106 @@
+"""Closed-form theory behind the paper's measurements.
+
+With ``n`` node identifiers i.i.d. uniform on a circle, the normalized
+responsibility-arc lengths follow a symmetric Dirichlet distribution;
+each individual arc is ``Beta(1, n-1) ≈ Exp(1/n)`` for large n.  Every
+quantitative signature in the paper's Tables I–II follows:
+
+* **median workload** ≈ ``ln 2 · T/n`` (Table I: 692.3 for T/n = 1000);
+* **σ of workload** ≈ ``T/n`` (Table I: σ ≈ mean in every row);
+* **baseline runtime factor** = expected maximum arc × n =
+  ``H_n = 1 + 1/2 + … + 1/n ≈ ln n + γ`` (Table II churn-0 row:
+  7.476 ≈ H₁₀₀₀ = 7.485, 5.02–5.04 ≈ a touch below H₁₀₀ = 5.187);
+* the full workload CCDF is ``(1 + x/n)^{-(n-1)} ≈ e^{-x}`` in units of
+  the mean (Figure 1's heavy tail).
+
+This module provides those predictions, used by tests to validate the
+simulator *against theory* (not just against the paper's numbers) and by
+the ``theory_vs_simulation`` analysis in the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "harmonic",
+    "expected_baseline_factor",
+    "expected_median_workload",
+    "expected_workload_std",
+    "workload_ccdf",
+    "expected_max_workload",
+    "predicted_histogram",
+    "expected_idle_fraction",
+]
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number H_n = Σ 1/k (exact for small n)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if n < 10_000:
+        return float(np.sum(1.0 / np.arange(1, n + 1)))
+    # Euler–Maclaurin for large n
+    g = 0.5772156649015329
+    return math.log(n) + g + 1 / (2 * n) - 1 / (12 * n * n)
+
+
+def expected_baseline_factor(n_nodes: int) -> float:
+    """Expected no-strategy runtime factor.
+
+    The runtime is set by the most loaded node; the expected maximum of n
+    i.i.d. Exp(mean 1/n) arcs is H_n / n of the ring, so the factor is
+    H_n.  (Finite task sampling pulls it slightly below H_n when the
+    per-node task count is small.)
+    """
+    return harmonic(n_nodes)
+
+
+def expected_median_workload(n_nodes: int, n_tasks: int) -> float:
+    """Median per-node workload ≈ ln 2 × mean (exponential arcs)."""
+    return math.log(2.0) * n_tasks / n_nodes
+
+
+def expected_workload_std(n_nodes: int, n_tasks: int) -> float:
+    """σ of per-node workload.
+
+    Workload = Binomial(T, arc); with arc ~ Exp(1/n) the variance is
+    mean² (from the arc) + mean (from the sampling), so
+    σ = sqrt(m² + m) with m = T/n.
+    """
+    m = n_tasks / n_nodes
+    return math.sqrt(m * m + m)
+
+
+def workload_ccdf(x: np.ndarray, n_nodes: int, n_tasks: int) -> np.ndarray:
+    """P(workload > x) under the exponential-arc model."""
+    m = n_tasks / n_nodes
+    return np.exp(-np.asarray(x, dtype=float) / m)
+
+
+def expected_max_workload(n_nodes: int, n_tasks: int) -> float:
+    """Expected heaviest node's workload ≈ H_n × mean."""
+    return harmonic(n_nodes) * n_tasks / n_nodes
+
+
+def expected_idle_fraction(
+    n_nodes: int, n_tasks: int, tick: int
+) -> float:
+    """Fraction of nodes finished by ``tick`` with no balancing.
+
+    A node with initial load L ≤ tick is idle; under the exponential
+    model P(L ≤ t) = 1 − e^{−t/m}.
+    """
+    m = n_tasks / n_nodes
+    return float(1.0 - math.exp(-tick / m))
+
+
+def predicted_histogram(
+    edges: np.ndarray, n_nodes: int, n_tasks: int
+) -> np.ndarray:
+    """Expected node counts per workload bin for a fresh network."""
+    edges = np.asarray(edges, dtype=float)
+    ccdf = workload_ccdf(edges, n_nodes, n_tasks)
+    return n_nodes * (ccdf[:-1] - ccdf[1:])

@@ -1,0 +1,98 @@
+"""Graph-theoretic analysis of Chord overlay topology (networkx).
+
+Chord's finger graph is what gives O(log n) routing; this module builds
+the overlay as a directed graph (successor edges + finger edges) and
+measures the properties the Chord paper promises — average shortest
+path ≈ ½·log₂ n, diameter O(log n), in-degree balance — so that the
+protocol implementation's routing structure can be validated
+graph-theoretically, not only by sampling lookups.
+
+networkx is an optional dependency (declared under the ``analysis``
+extra); importing this module without it raises a clear error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+try:
+    import networkx as nx
+except ImportError as _err:  # pragma: no cover
+    raise ImportError(
+        "repro.analysis.topology requires networkx "
+        "(pip install repro[analysis])"
+    ) from _err
+
+from repro.chord.ring import ChordRing
+
+__all__ = ["overlay_graph", "TopologyReport", "analyze_topology"]
+
+
+def overlay_graph(ring: ChordRing, *, include_fingers: bool = True) -> "nx.DiGraph":
+    """The ring's routing graph: successor edges (+ finger edges)."""
+    graph = nx.DiGraph()
+    alive = ring.network.alive_ids()
+    graph.add_nodes_from(alive)
+    for ident in alive:
+        node = ring.network.node(ident)
+        for sid in node.successor_list:
+            if sid != ident and ring.network.is_alive(sid):
+                graph.add_edge(ident, sid, kind="successor")
+        if include_fingers:
+            for entry in node.fingers.known_ids():
+                if entry != ident and ring.network.is_alive(entry):
+                    if not graph.has_edge(ident, entry):
+                        graph.add_edge(ident, entry, kind="finger")
+    return graph
+
+
+@dataclass(frozen=True)
+class TopologyReport:
+    """Routing-graph metrics of one overlay snapshot."""
+
+    n_nodes: int
+    n_edges: int
+    strongly_connected: bool
+    avg_path_length: float
+    diameter: int
+    max_in_degree: int
+    mean_out_degree: float
+
+    def as_dict(self) -> dict:
+        return {
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "strongly_connected": self.strongly_connected,
+            "avg_path_length": self.avg_path_length,
+            "diameter": self.diameter,
+            "max_in_degree": self.max_in_degree,
+            "mean_out_degree": self.mean_out_degree,
+        }
+
+
+def analyze_topology(ring: ChordRing) -> TopologyReport:
+    """Measure the overlay; raises on an empty ring."""
+    graph = overlay_graph(ring)
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise ValueError("empty overlay")
+    connected = nx.is_strongly_connected(graph)
+    if connected and n > 1:
+        avg = nx.average_shortest_path_length(graph)
+        diameter = nx.diameter(graph)
+    else:
+        avg = float("inf") if n > 1 else 0.0
+        diameter = -1
+    in_degrees = [d for _, d in graph.in_degree()]
+    out_degrees = [d for _, d in graph.out_degree()]
+    return TopologyReport(
+        n_nodes=n,
+        n_edges=graph.number_of_edges(),
+        strongly_connected=connected,
+        avg_path_length=float(avg),
+        diameter=int(diameter),
+        max_in_degree=int(max(in_degrees, default=0)),
+        mean_out_degree=float(np.mean(out_degrees)) if out_degrees else 0.0,
+    )

@@ -1,0 +1,14 @@
+"""Applications on the reproduced substrate: ChordReduce MapReduce."""
+
+from repro.apps.chordreduce import ChordReduce, JobReport
+from repro.apps.invertedindex import build_inverted_index, search
+from repro.apps.wordcount import tokenize, word_count
+
+__all__ = [
+    "ChordReduce",
+    "JobReport",
+    "word_count",
+    "tokenize",
+    "build_inverted_index",
+    "search",
+]

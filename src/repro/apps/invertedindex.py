@@ -1,0 +1,60 @@
+"""Inverted-index construction on ChordReduce.
+
+The second canonical MapReduce workload: map each document to
+``(word, doc_id)`` postings, reduce to sorted posting lists.  A search
+application can then resolve queries against the index.  Demonstrates a
+job whose reduce phase is substantial (one task per distinct word),
+which is where balancing the *reduce* placement matters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.apps.chordreduce import ChordReduce, JobReport
+from repro.apps.wordcount import tokenize
+
+__all__ = ["build_inverted_index", "search"]
+
+
+def _map(entry: tuple[int, str]) -> Iterable[tuple[str, int]]:
+    doc_id, text = entry
+    for word in set(tokenize(text)):
+        yield word, doc_id
+
+
+def _reduce(_word: str, doc_ids: list[int]) -> tuple[int, ...]:
+    return tuple(sorted(set(doc_ids)))
+
+
+def build_inverted_index(
+    documents: Iterable[str],
+    *,
+    n_nodes: int = 40,
+    strategy: str = "none",
+    seed: int | None = 0,
+    **config_overrides,
+) -> tuple[dict[str, tuple[int, ...]], JobReport]:
+    """Build word → sorted doc-id postings over a simulated Chord DHT."""
+    entries = list(enumerate(documents))
+    job = ChordReduce(
+        _map,
+        _reduce,
+        n_nodes=n_nodes,
+        strategy=strategy,
+        seed=seed,
+        **config_overrides,
+    )
+    return job.run(entries)
+
+
+def search(
+    index: Mapping[str, tuple[int, ...]], query: str
+) -> tuple[int, ...]:
+    """Conjunctive (AND) query against the index; returns doc ids."""
+    words = tokenize(query)
+    if not words:
+        return ()
+    postings = [set(index.get(word, ())) for word in words]
+    hits = set.intersection(*postings) if postings else set()
+    return tuple(sorted(hits))

@@ -1,0 +1,59 @@
+"""Chord finger tables (Stoica et al., SIGCOMM 2001).
+
+Finger ``k`` of a node with identifier ``n`` points at the first node
+whose identifier succeeds ``n + 2**k`` on the ring.  Fingers give Chord
+its O(log N) lookups; they are repaired lazily by ``fix_fingers``.
+"""
+
+from __future__ import annotations
+
+from repro.hashspace.idspace import IdSpace
+
+__all__ = ["FingerTable"]
+
+
+class FingerTable:
+    """Fixed-size table of finger targets and their current entries."""
+
+    def __init__(self, owner_id: int, space: IdSpace):
+        self.owner_id = owner_id
+        self.space = space
+        #: ``starts[k] == owner_id + 2**k`` — the id each finger covers
+        self.starts: list[int] = list(space.iter_powers(owner_id))
+        #: current best-known successor of each start (None = unknown)
+        self.entries: list[int | None] = [None] * space.bits
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def set(self, k: int, node_id: int | None) -> None:
+        self.entries[k] = node_id
+
+    def get(self, k: int) -> int | None:
+        return self.entries[k]
+
+    def clear_entry(self, node_id: int) -> None:
+        """Forget a node everywhere (called when it is detected dead)."""
+        for k, entry in enumerate(self.entries):
+            if entry == node_id:
+                self.entries[k] = None
+
+    def closest_preceding(self, key: int) -> int | None:
+        """Best known node strictly between the owner and ``key``.
+
+        Scans fingers farthest-first, the core of Chord's O(log N) hop
+        bound.  Returns None when no finger helps (caller falls back to
+        its successor).
+        """
+        for entry in reversed(self.entries):
+            if entry is None or entry == self.owner_id:
+                continue
+            if self.space.in_interval(
+                entry, self.owner_id, key, closed_right=False
+            ):
+                return entry
+        return None
+
+    def known_ids(self) -> set[int]:
+        """Distinct live entries currently in the table."""
+        return {e for e in self.entries if e is not None}

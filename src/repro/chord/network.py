@@ -1,0 +1,107 @@
+"""In-memory RPC fabric for the protocol-level Chord implementation.
+
+Nodes never hold direct references to each other; every interaction goes
+through :class:`SimNetwork.rpc`, which
+
+* verifies the callee is alive (dead/unknown targets raise
+  :class:`~repro.errors.ProtocolError`, which callers treat as a failure
+  detection — exactly how a timeout behaves in a deployed DHT), and
+* counts messages per method, giving the maintenance/lookup traffic
+  numbers the paper discusses qualitatively ("the estimation based
+  neighbor injection requires fewer messages in an actual
+  implementation").
+
+The fabric is synchronous and deterministic: latency is modelled by hop
+counts, not wall-clock time, matching the paper's tick abstraction where
+"a tick is enough time to accomplish at least one maintenance cycle".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chord.node import ChordNode
+
+__all__ = ["SimNetwork"]
+
+
+class SimNetwork:
+    """Registry of protocol nodes plus the message accounting fabric."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, "ChordNode"] = {}
+        self.messages = Counter()
+        #: ids whose next incoming RPC should fail once (fault injection)
+        self._drop_once: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(self, node: "ChordNode") -> None:
+        if node.id in self._nodes and self._nodes[node.id].alive:
+            raise ProtocolError(f"id {node.id} already registered and alive")
+        self._nodes[node.id] = node
+
+    def deregister(self, node_id: int) -> None:
+        self._nodes.pop(node_id, None)
+
+    def node(self, node_id: int) -> "ChordNode":
+        """Direct (non-RPC) access for orchestration and assertions."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ProtocolError(f"no node with id {node_id}") from None
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def is_alive(self, node_id: int) -> bool:
+        node = self._nodes.get(node_id)
+        return node is not None and node.alive
+
+    def alive_ids(self) -> list[int]:
+        return sorted(i for i, n in self._nodes.items() if n.alive)
+
+    def __len__(self) -> int:
+        return len(self.alive_ids())
+
+    def node_count(self) -> int:
+        """Registered node count (alive or not) — O(1)."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def drop_next_rpc_to(self, node_id: int) -> None:
+        """Make the next RPC to ``node_id`` fail once (transient fault)."""
+        self._drop_once.add(node_id)
+
+    # ------------------------------------------------------------------
+    # the wire
+    # ------------------------------------------------------------------
+    def rpc(self, target_id: int, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke ``method`` on the node that owns ``target_id``.
+
+        Raises :class:`ProtocolError` when the target is missing, dead,
+        or a transient drop was injected — callers interpret this as a
+        detected failure.
+        """
+        self.messages[method] += 1
+        if target_id in self._drop_once:
+            self._drop_once.discard(target_id)
+            raise ProtocolError(f"rpc {method} to {target_id} dropped")
+        node = self._nodes.get(target_id)
+        if node is None or not node.alive:
+            raise ProtocolError(f"rpc {method} to dead/unknown id {target_id}")
+        return getattr(node, method)(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    def reset_messages(self) -> None:
+        self.messages.clear()

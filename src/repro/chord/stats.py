@@ -1,0 +1,110 @@
+"""Health and routing statistics for protocol-level Chord networks.
+
+Condenses a live :class:`~repro.chord.ring.ChordRing` into the numbers a
+DHT operator watches: routing-table quality, replication coverage, load
+spread, and message-cost breakdowns.  Used by the protocol tests, the
+``chord_protocol_demo`` example and the protocol benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chord.ring import ChordRing
+from repro.metrics.balance import LoadStats, load_stats
+
+__all__ = ["RingStats", "collect_ring_stats", "finger_accuracy"]
+
+
+@dataclass(frozen=True)
+class RingStats:
+    """One snapshot of a protocol ring's health."""
+
+    n_alive: int
+    finger_fill: float
+    finger_accuracy: float
+    successor_list_fill: float
+    replication_factor: float
+    load: LoadStats
+    mean_lookup_hops: float
+    max_lookup_hops: int
+    messages_total: int
+    messages_by_method: dict[str, int]
+
+    def as_dict(self) -> dict:
+        return {
+            "n_alive": self.n_alive,
+            "finger_fill": self.finger_fill,
+            "finger_accuracy": self.finger_accuracy,
+            "successor_list_fill": self.successor_list_fill,
+            "replication_factor": self.replication_factor,
+            "mean_lookup_hops": self.mean_lookup_hops,
+            "max_lookup_hops": self.max_lookup_hops,
+            "messages_total": self.messages_total,
+            **{f"load_{k}": v for k, v in self.load.as_dict().items()},
+        }
+
+
+def finger_accuracy(ring: ChordRing) -> tuple[float, float]:
+    """(fill, accuracy) of all finger tables.
+
+    *fill* = fraction of finger entries that are set;
+    *accuracy* = fraction of set entries pointing at the true successor
+    of their start (per the sorted-ids oracle).
+    """
+    alive = ring.network.alive_ids()
+    total = set_count = correct = 0
+    for ident in alive:
+        node = ring.network.node(ident)
+        for k, entry in enumerate(node.fingers.entries):
+            total += 1
+            if entry is None:
+                continue
+            set_count += 1
+            if entry == ring.ground_truth_holder(node.fingers.starts[k]):
+                correct += 1
+    if total == 0:
+        return 0.0, 0.0
+    fill = set_count / total
+    accuracy = correct / set_count if set_count else 0.0
+    return fill, accuracy
+
+
+def collect_ring_stats(ring: ChordRing, n_lookups: int = 100) -> RingStats:
+    """Measure a ring (lookup sampling consumes ring RNG draws)."""
+    alive = ring.network.alive_ids()
+    fill, accuracy = finger_accuracy(ring)
+
+    succ_fill = 0.0
+    replicas = 0
+    primaries = 0
+    if alive:
+        fills = []
+        for ident in alive:
+            node = ring.network.node(ident)
+            fills.append(
+                len(node.successor_list)
+                / min(node.n_successors, max(len(alive) - 1, 1))
+            )
+            replicas += node.store.replica_count
+            primaries += node.store.primary_count
+        succ_fill = float(np.mean(fills))
+
+    loads = np.array(
+        [ring.network.node(i).store.primary_count for i in alive]
+    )
+    hops = ring.lookup_hops_sample(n_lookups) if alive else np.zeros(1)
+    return RingStats(
+        n_alive=len(alive),
+        finger_fill=fill,
+        finger_accuracy=accuracy,
+        successor_list_fill=min(succ_fill, 1.0),
+        replication_factor=(replicas / primaries) if primaries else 0.0,
+        load=load_stats(loads),
+        mean_lookup_hops=float(hops.mean()),
+        max_lookup_hops=int(hops.max()),
+        messages_total=ring.network.total_messages(),
+        messages_by_method=dict(ring.network.messages),
+    )

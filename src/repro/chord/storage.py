@@ -1,0 +1,139 @@
+"""Key-value storage with active replication (the ChordReduce model).
+
+The paper's simulations assume nodes are "active and aggressive in
+creating and monitoring the backups and the data they are responsible
+for", so that a node's death loses nothing and a join acquires its range
+immediately.  This module implements that model at the protocol level:
+
+* each node holds **primary** items (keys it is responsible for) and
+  **replica** items (pushed to it by the ``r`` predecessors whose data it
+  backs up);
+* every maintenance cycle a node pushes its primary set to its successor
+  list, and *promotes* any replica whose key now falls into its own
+  responsibility range (that is how the range of a dead predecessor is
+  absorbed with zero loss).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.hashspace.idspace import IdSpace
+
+__all__ = ["NodeStore"]
+
+
+class NodeStore:
+    """Primary + replica storage of one protocol node."""
+
+    def __init__(self, space: IdSpace):
+        self._space = space
+        self._primary: dict[int, Any] = {}
+        self._replicas: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # primary set
+    # ------------------------------------------------------------------
+    def put_primary(self, key: int, value: Any) -> None:
+        self._space.validate(key)
+        self._primary[key] = value
+        self._replicas.pop(key, None)
+
+    def get(self, key: int) -> Any:
+        """Read a key — primaries first, replicas as fallback."""
+        if key in self._primary:
+            return self._primary[key]
+        return self._replicas[key]
+
+    def has(self, key: int) -> bool:
+        return key in self._primary or key in self._replicas
+
+    def pop_primary_range(self, start: int, end: int) -> dict[int, Any]:
+        """Remove and return primaries in the arc ``(start, end]``.
+
+        Used when a new predecessor (joiner or Sybil) takes over part of
+        the node's range.  The handed-off items stay as replicas here —
+        this node is now their first backup.
+        """
+        moved = {
+            k: v
+            for k, v in self._primary.items()
+            if self._space.in_interval(k, start, end)
+        }
+        for k in moved:
+            del self._primary[k]
+            self._replicas[k] = moved[k]
+        return moved
+
+    @property
+    def primary_keys(self) -> set[int]:
+        return set(self._primary)
+
+    @property
+    def primary_count(self) -> int:
+        return len(self._primary)
+
+    def primary_items(self) -> dict[int, Any]:
+        return dict(self._primary)
+
+    # ------------------------------------------------------------------
+    # replica set
+    # ------------------------------------------------------------------
+    def accept_replicas(self, items: dict[int, Any]) -> None:
+        """Store backup copies pushed by a predecessor."""
+        for key, value in items.items():
+            if key not in self._primary:
+                self._replicas[key] = value
+
+    def promote_range(self, start: int, end: int) -> int:
+        """Promote replicas in ``(start, end]`` to primaries.
+
+        Called every maintenance cycle with the node's current
+        responsibility arc; returns how many items were promoted (>0
+        means this node just absorbed a failed predecessor's range).
+        """
+        promote = [
+            k
+            for k in self._replicas
+            if self._space.in_interval(k, start, end)
+        ]
+        for k in promote:
+            self._primary[k] = self._replicas.pop(k)
+        return len(promote)
+
+    def drop_replicas_outside(self, keys: Iterable[int]) -> None:
+        """Garbage-collect replicas no longer covered by any predecessor."""
+        keep = set(keys)
+        for k in list(self._replicas):
+            if k not in keep:
+                del self._replicas[k]
+
+    def sync_replica_range(
+        self, start: int, end: int, items: dict[int, Any]
+    ) -> None:
+        """Make our replicas of the arc ``(start, end]`` match ``items``.
+
+        This is the push half of active backup with *tombstone* semantics:
+        replicas in the origin's responsibility arc that the origin no
+        longer holds (completed tasks, deleted keys) are dropped, so a
+        later promotion cannot resurrect them.
+        """
+        for k in list(self._replicas):
+            if self._space.in_interval(k, start, end) and k not in items:
+                del self._replicas[k]
+        self.accept_replicas(items)
+
+    def remove_primary(self, key: int) -> Any:
+        """Delete a primary item (task completion); returns its value."""
+        return self._primary.pop(key)
+
+    def remove_replica(self, key: int) -> None:
+        """Drop one backup copy (completion tombstone); idempotent."""
+        self._replicas.pop(key, None)
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    def all_keys(self) -> set[int]:
+        return set(self._primary) | set(self._replicas)

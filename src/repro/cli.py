@@ -1,0 +1,296 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``repro list``
+    Show every reproducible experiment id.
+``repro run <id> [--scale quick|full] [--seed N] [--jobs N] [--csv PATH]
+[--json PATH]``
+    Run one experiment (or ``all``) and print the paper-layout table.
+``repro simulate [--strategy S] [--nodes N] [--tasks T] ...``
+    Run a single ad-hoc simulation and print its summary.
+``repro figures [--out DIR]``
+    Render the Figure 2/3 ring SVGs.
+``repro profile [--strategy S] ...``
+    Run one simulation with time series on and print its convergence
+    profile (utilization AUC, wasted node-ticks, ...).
+``repro theory [--nodes N] [--tasks T]``
+    Print the closed-form predictions for a network size next to a
+    fresh measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.config import STRATEGY_NAMES, SimulationConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Autonomous Load Balancing in Distributed "
+            "Hash Tables Using Churn and the Sybil Attack'"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run_p = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id or 'all'")
+    run_p.add_argument("--scale", choices=["quick", "full"], default=None)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--jobs", type=int, default=1)
+    run_p.add_argument("--csv", type=Path, default=None)
+    run_p.add_argument("--json", type=Path, default=None)
+
+    sim_p = sub.add_parser("simulate", help="one ad-hoc simulation")
+    sim_p.add_argument("--strategy", choices=STRATEGY_NAMES, default="none")
+    sim_p.add_argument("--nodes", type=int, default=1000)
+    sim_p.add_argument("--tasks", type=int, default=100_000)
+    sim_p.add_argument("--churn", type=float, default=0.0)
+    sim_p.add_argument("--heterogeneous", action="store_true")
+    sim_p.add_argument(
+        "--work-measurement", choices=["one", "strength"], default="one"
+    )
+    sim_p.add_argument("--max-sybils", type=int, default=5)
+    sim_p.add_argument("--sybil-threshold", type=int, default=0)
+    sim_p.add_argument("--successors", type=int, default=5)
+    sim_p.add_argument("--seed", type=int, default=0)
+    sim_p.add_argument("--trials", type=int, default=1)
+    sim_p.add_argument("--jobs", type=int, default=1)
+
+    fig_p = sub.add_parser("figures", help="render Figure 2/3 ring SVGs")
+    fig_p.add_argument("--out", type=Path, default=Path("figures"))
+    fig_p.add_argument("--seed", type=int, default=0)
+
+    prof_p = sub.add_parser("profile", help="convergence profile of one run")
+    prof_p.add_argument("--strategy", choices=STRATEGY_NAMES, default="none")
+    prof_p.add_argument("--nodes", type=int, default=500)
+    prof_p.add_argument("--tasks", type=int, default=50_000)
+    prof_p.add_argument("--churn", type=float, default=0.0)
+    prof_p.add_argument("--seed", type=int, default=0)
+
+    theory_p = sub.add_parser(
+        "theory", help="closed-form predictions vs one measurement"
+    )
+    theory_p.add_argument("--nodes", type=int, default=1000)
+    theory_p.add_argument("--tasks", type=int, default=100_000)
+    theory_p.add_argument("--seed", type=int, default=0)
+
+    rep_p = sub.add_parser(
+        "report", help="run every experiment and write a report bundle"
+    )
+    rep_p.add_argument("--out", type=Path, default=Path("report"))
+    rep_p.add_argument("--scale", choices=["quick", "full"], default=None)
+    rep_p.add_argument("--seed", type=int, default=0)
+    rep_p.add_argument("--jobs", type=int, default=1)
+    rep_p.add_argument(
+        "--only", nargs="*", default=None,
+        help="restrict to these experiment ids",
+    )
+
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, (title, _) in EXPERIMENTS.items():
+        print(f"{key.ljust(width)}  {title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+    from repro.viz.export import write_csv, write_json
+
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        t0 = time.time()
+        result = run_experiment(
+            exp_id, scale=args.scale, seed=args.seed, n_jobs=args.jobs
+        )
+        print(result.render())
+        print(f"  ({time.time() - t0:.1f}s)\n")
+        if args.csv:
+            path = (
+                args.csv
+                if len(ids) == 1
+                else args.csv.with_name(f"{exp_id}_{args.csv.name}")
+            )
+            write_csv(result, path)
+            print(f"  wrote {path}")
+        if args.json:
+            path = (
+                args.json
+                if len(ids) == 1
+                else args.json.with_name(f"{exp_id}_{args.json.name}")
+            )
+            write_json(result, path)
+            print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.trials import run_trials
+    from repro.util.tables import format_kv
+
+    config = SimulationConfig(
+        strategy=args.strategy,
+        n_nodes=args.nodes,
+        n_tasks=args.tasks,
+        churn_rate=args.churn,
+        heterogeneous=args.heterogeneous,
+        work_measurement=args.work_measurement,
+        max_sybils=args.max_sybils,
+        sybil_threshold=args.sybil_threshold,
+        num_successors=args.successors,
+        seed=args.seed,
+    )
+    t0 = time.time()
+    trials = run_trials(config, args.trials, n_jobs=args.jobs)
+    summary = trials.factor_summary()
+    print(
+        format_kv(
+            {
+                "strategy": config.strategy,
+                "nodes/tasks": f"{config.n_nodes}/{config.n_tasks}",
+                "trials": summary.n_trials,
+                "mean runtime factor": summary.mean,
+                "std": summary.std,
+                "min..max": f"{summary.min:.3f}..{summary.max:.3f}",
+                "ideal ticks": trials.results[0].ideal_ticks,
+                "wall time (s)": round(time.time() - t0, 2),
+                **{
+                    f"avg {k}": round(v, 1)
+                    for k, v in trials.counter_means().items()
+                },
+            }
+        )
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.fig02_03_ring import build_layout
+    from repro.viz.ringplot import render_ring_svg
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    hashed = build_layout(10, 100, even_nodes=False, seed=args.seed)
+    even = build_layout(10, 100, even_nodes=True, seed=args.seed)
+    p2 = render_ring_svg(
+        hashed.node_xy,
+        hashed.task_xy,
+        args.out / "fig2_hashed_ring.svg",
+        title="Figure 2: SHA-1 placed nodes (10 nodes, 100 tasks)",
+    )
+    p3 = render_ring_svg(
+        even.node_xy,
+        even.task_xy,
+        args.out / "fig3_even_ring.svg",
+        title="Figure 3: evenly spaced nodes (10 nodes, 100 tasks)",
+    )
+    print(f"wrote {p2}\nwrote {p3}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis.convergence import profile_run
+    from repro.util.tables import format_kv
+
+    config = SimulationConfig(
+        strategy=args.strategy,
+        n_nodes=args.nodes,
+        n_tasks=args.tasks,
+        churn_rate=args.churn,
+        seed=args.seed,
+    )
+    profile = profile_run(config)
+    print(format_kv({"strategy": args.strategy, **profile.as_dict()}))
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    from repro.analysis import theory
+    from repro.metrics.balance import load_stats
+    from repro.sim.engine import TickEngine
+    from repro.util.tables import format_table
+
+    engine = TickEngine(
+        SimulationConfig(
+            n_nodes=args.nodes, n_tasks=args.tasks, seed=args.seed
+        )
+    )
+    stats = load_stats(engine.network_loads())
+    rows = [
+        [
+            "median workload",
+            theory.expected_median_workload(args.nodes, args.tasks),
+            stats.median,
+        ],
+        [
+            "workload sigma",
+            theory.expected_workload_std(args.nodes, args.tasks),
+            stats.std,
+        ],
+        [
+            "max workload",
+            theory.expected_max_workload(args.nodes, args.tasks),
+            stats.max,
+        ],
+        [
+            "baseline runtime factor",
+            theory.expected_baseline_factor(args.nodes),
+            "(run `repro simulate` to measure)",
+        ],
+    ]
+    print(
+        format_table(
+            ["quantity", "theory", "measured (one draw)"],
+            rows,
+            title=f"Exponential-arc theory, {args.nodes} nodes / "
+            f"{args.tasks} tasks",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "theory":
+        return _cmd_theory(args)
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        generate_report(
+            args.out,
+            scale=args.scale,
+            seed=args.seed,
+            n_jobs=args.jobs,
+            experiment_ids=args.only,
+        )
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

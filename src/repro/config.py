@@ -1,0 +1,187 @@
+"""Simulation configuration — the paper's experimental variables (§V-B).
+
+Every knob in the paper's "Experimental Variables" subsection appears here
+with the paper's default value:
+
+========================  =====================================  ========
+Paper variable            Field                                  Default
+========================  =====================================  ========
+Strategy                  ``strategy``                           "none"
+Homogeneity               ``heterogeneous``                      False
+Work Measurement          ``work_measurement``                   "one"
+Network Size              ``n_nodes``                            1000
+Number of Tasks           ``n_tasks``                            100_000
+Churn Rate                ``churn_rate``                         0.0
+Max Sybils                ``max_sybils``                         5
+Sybil Threshold           ``sybil_threshold``                    0
+Successors                ``num_successors``                     5
+========================  =====================================  ========
+
+Additional fields capture details the paper fixes implicitly (the 5-tick
+decision cadence for Sybil strategies, §IV-B) or leaves under-specified
+(see DESIGN.md "Interpretation decisions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Literal
+
+from repro.errors import ConfigError
+
+__all__ = ["SimulationConfig", "STRATEGY_NAMES"]
+
+#: Strategy registry keys understood by :func:`repro.core.make_strategy`.
+STRATEGY_NAMES = (
+    "none",
+    "churn",
+    "random_injection",
+    "neighbor_injection",
+    "smart_neighbor_injection",
+    "invitation",
+    # extensions implementing the paper's §VII future work
+    "strength_invitation",
+    "proportional_injection",
+    "relocation",
+)
+
+WorkMeasurement = Literal["one", "strength"]
+Placement = Literal["random", "midpoint", "median"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Full parameterization of one simulated computation.
+
+    Instances are immutable; derive variants with :meth:`with_updates`.
+    """
+
+    # -- paper variables -------------------------------------------------
+    strategy: str = "none"
+    n_nodes: int = 1000
+    n_tasks: int = 100_000
+    heterogeneous: bool = False
+    work_measurement: WorkMeasurement = "one"
+    churn_rate: float = 0.0
+    max_sybils: int = 5
+    sybil_threshold: int = 0
+    num_successors: int = 5
+
+    # -- cadence and interpretation knobs (DESIGN.md) ---------------------
+    decision_interval: int = 5
+    invite_factor: float = 1.0
+    placement: Placement = "random"
+    avoid_failed_ranges: bool = False
+
+    # -- workload-shape extensions (beyond the paper; defaults match it) --
+    key_distribution: Literal["uniform", "clustered", "zipf"] = "uniform"
+    n_clusters: int = 8
+    cluster_spread: float = 0.01
+    zipf_exponent: float = 1.2
+    arrival_rate: float = 0.0
+    arrival_until: int = 0
+
+    # -- machinery --------------------------------------------------------
+    seed: int | None = 0
+    bits: int = 64
+    max_ticks: int = 2_000_000
+    snapshot_ticks: tuple[int, ...] = field(default=())
+    collect_timeseries: bool = False
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGY_NAMES:
+            raise ConfigError(
+                f"unknown strategy {self.strategy!r}; expected one of "
+                f"{STRATEGY_NAMES}"
+            )
+        if self.n_nodes <= 0:
+            raise ConfigError(f"n_nodes must be positive, got {self.n_nodes}")
+        if self.n_tasks < 0:
+            raise ConfigError(f"n_tasks must be >= 0, got {self.n_tasks}")
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ConfigError(
+                f"churn_rate must be in [0, 1], got {self.churn_rate}"
+            )
+        if self.max_sybils < 0:
+            raise ConfigError(f"max_sybils must be >= 0, got {self.max_sybils}")
+        if self.heterogeneous and self.max_sybils < 1:
+            raise ConfigError(
+                "heterogeneous networks need max_sybils >= 1 (strength range)"
+            )
+        if self.sybil_threshold < 0:
+            raise ConfigError(
+                f"sybil_threshold must be >= 0, got {self.sybil_threshold}"
+            )
+        if self.num_successors < 1:
+            raise ConfigError(
+                f"num_successors must be >= 1, got {self.num_successors}"
+            )
+        if self.decision_interval < 1:
+            raise ConfigError(
+                f"decision_interval must be >= 1, got {self.decision_interval}"
+            )
+        if self.work_measurement not in ("one", "strength"):
+            raise ConfigError(
+                f"work_measurement must be 'one' or 'strength', "
+                f"got {self.work_measurement!r}"
+            )
+        if self.placement not in ("random", "midpoint", "median"):
+            raise ConfigError(f"unknown placement {self.placement!r}")
+        if self.bits < 8 or self.bits > 64:
+            raise ConfigError(
+                f"simulator id space must be 8..64 bits, got {self.bits}"
+            )
+        if self.max_ticks < 1:
+            raise ConfigError(f"max_ticks must be >= 1, got {self.max_ticks}")
+        if self.invite_factor <= 0:
+            raise ConfigError(
+                f"invite_factor must be positive, got {self.invite_factor}"
+            )
+        if self.key_distribution not in ("uniform", "clustered", "zipf"):
+            raise ConfigError(
+                f"unknown key_distribution {self.key_distribution!r}"
+            )
+        if self.n_clusters < 1:
+            raise ConfigError(f"n_clusters must be >= 1, got {self.n_clusters}")
+        if not 0.0 < self.cluster_spread <= 0.5:
+            raise ConfigError(
+                f"cluster_spread must be in (0, 0.5], got {self.cluster_spread}"
+            )
+        if self.zipf_exponent <= 1.0:
+            raise ConfigError(
+                f"zipf_exponent must be > 1, got {self.zipf_exponent}"
+            )
+        if self.arrival_rate < 0:
+            raise ConfigError(
+                f"arrival_rate must be >= 0, got {self.arrival_rate}"
+            )
+        if self.arrival_until < 0:
+            raise ConfigError(
+                f"arrival_until must be >= 0, got {self.arrival_until}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def tasks_per_node(self) -> float:
+        """Mean initial tasks per node — the paper's load ratio."""
+        return self.n_tasks / self.n_nodes
+
+    @property
+    def uses_sybils(self) -> bool:
+        """Whether the configured strategy creates Sybil nodes."""
+        return self.strategy in (
+            "random_injection",
+            "neighbor_injection",
+            "smart_neighbor_injection",
+            "invitation",
+            "strength_invitation",
+            "proportional_injection",
+        )
+
+    def with_updates(self, **changes: Any) -> "SimulationConfig":
+        """Return a copy with the given fields replaced (validated)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict form (for CSV/JSON export and result provenance)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,39 @@
+"""The paper's contribution: autonomous load-balancing strategies.
+
+Five concrete strategies plus the no-op baseline, all speaking the
+:class:`~repro.core.strategy.NetworkView` local-information interface:
+
+============================  =============================  ==========
+Registry name                 Class                          Paper §
+============================  =============================  ==========
+``none``                      :class:`NoStrategy`            VI baseline
+``churn``                     :class:`InducedChurn`          IV-A
+``random_injection``          :class:`RandomInjection`       IV-B
+``neighbor_injection``        :class:`NeighborInjection`     IV-C
+``smart_neighbor_injection``  :class:`SmartNeighborInjection` IV-C
+``invitation``                :class:`Invitation`            IV-D
+============================  =============================  ==========
+"""
+
+from repro.core.churn import InducedChurn
+from repro.core.invitation import Invitation
+from repro.core.neighbor import NeighborInjection, SmartNeighborInjection
+from repro.core.none_strategy import NoStrategy
+from repro.core.random_injection import RandomInjection
+from repro.core.registry import STRATEGIES, make_strategy, strategy_names
+from repro.core.strategy import NetworkView, RoundStats, Strategy
+
+__all__ = [
+    "Strategy",
+    "NetworkView",
+    "RoundStats",
+    "NoStrategy",
+    "InducedChurn",
+    "RandomInjection",
+    "NeighborInjection",
+    "SmartNeighborInjection",
+    "Invitation",
+    "STRATEGIES",
+    "make_strategy",
+    "strategy_names",
+]

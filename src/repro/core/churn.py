@@ -1,0 +1,41 @@
+"""Induced Churn strategy (§IV-A).
+
+The strategy relies *solely* on churn to balance load: every tick each
+in-network node leaves with probability ``churnRate`` (handing its tasks
+to its successor via the active-backup mechanism), and each node in the
+waiting pool joins with the same probability, landing at a random
+identifier and immediately acquiring the work in its new range.
+
+The churn process itself is a property of the network, so it is executed
+by the engine's churn phase (which runs whenever ``churn_rate > 0``,
+allowing churn to be layered under other strategies for the §VI-B-1
+ablation).  This class exists so "churn" is a first-class strategy in the
+registry and so configuration mistakes are caught loudly: selecting the
+churn strategy with ``churn_rate == 0`` is the baseline in disguise.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.core.strategy import NetworkView, Strategy
+
+__all__ = ["InducedChurn"]
+
+
+class InducedChurn(Strategy):
+    """Load balancing by (self-)induced churn alone — no Sybils."""
+
+    name = "churn"
+
+    def on_attach(self, view: NetworkView) -> None:
+        if view.config.churn_rate <= 0:
+            warnings.warn(
+                "InducedChurn selected with churn_rate == 0; this is "
+                "identical to the no-strategy baseline",
+                stacklevel=2,
+            )
+
+    def decide(self, view: NetworkView) -> None:
+        # All the action happens in the engine's churn phase.
+        return None

@@ -1,0 +1,22 @@
+"""Baseline: no load balancing at all.
+
+The paper compares every strategy against "a baseline network of the same
+size and initial configuration of nodes [that] never uses a strategy, nor
+experiences any churn" (§VI).  Nodes simply consume the tasks they were
+dealt; the runtime is governed by the most overloaded node.
+"""
+
+from __future__ import annotations
+
+from repro.core.strategy import NetworkView, Strategy
+
+__all__ = ["NoStrategy"]
+
+
+class NoStrategy(Strategy):
+    """Do nothing every decision round."""
+
+    name = "none"
+
+    def decide(self, view: NetworkView) -> None:
+        return None

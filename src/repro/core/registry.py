@@ -1,0 +1,53 @@
+"""Strategy registry: name → factory, shared by config, CLI and engine."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.churn import InducedChurn
+from repro.core.extensions import (
+    Relocation,
+    StrengthAwareInvitation,
+    StrengthProportionalInjection,
+)
+from repro.core.invitation import Invitation
+from repro.core.neighbor import NeighborInjection, SmartNeighborInjection
+from repro.core.none_strategy import NoStrategy
+from repro.core.random_injection import RandomInjection
+from repro.core.strategy import Strategy
+from repro.errors import StrategyError
+from repro.config import SimulationConfig
+
+__all__ = ["STRATEGIES", "make_strategy", "strategy_names"]
+
+STRATEGIES: dict[str, Callable[[], Strategy]] = {
+    NoStrategy.name: NoStrategy,
+    InducedChurn.name: InducedChurn,
+    RandomInjection.name: RandomInjection,
+    NeighborInjection.name: NeighborInjection,
+    SmartNeighborInjection.name: SmartNeighborInjection,
+    Invitation.name: Invitation,
+    StrengthAwareInvitation.name: StrengthAwareInvitation,
+    StrengthProportionalInjection.name: StrengthProportionalInjection,
+    Relocation.name: Relocation,
+}
+
+
+def strategy_names() -> tuple[str, ...]:
+    return tuple(STRATEGIES)
+
+
+def make_strategy(name_or_config: str | SimulationConfig) -> Strategy:
+    """Instantiate a strategy by name or from a simulation config."""
+    name = (
+        name_or_config.strategy
+        if isinstance(name_or_config, SimulationConfig)
+        else name_or_config
+    )
+    try:
+        factory = STRATEGIES[name]
+    except KeyError:
+        raise StrategyError(
+            f"unknown strategy {name!r}; known: {sorted(STRATEGIES)}"
+        ) from None
+    return factory()

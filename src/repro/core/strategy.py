@@ -1,0 +1,210 @@
+"""Strategy interface for autonomous DHT load balancing.
+
+A strategy encodes how individual nodes decide — *from local information
+only* — when and where to create Sybil identities (or do nothing and let
+churn act).  Strategies never see global state directly; they interact
+with the network through a :class:`NetworkView`, whose API deliberately
+exposes only what the paper's §V assumptions grant a node:
+
+* its own workload and Sybil census,
+* the identities/ranges/loads of its tracked successors and predecessors
+  (loads only via explicit *queries*, which are counted as messages),
+* the ability to search out an unoccupied identifier in a range and join
+  there with a Sybil (shown to be cheap in the authors' prior work).
+
+The same interface is implemented by the fast tick simulator
+(:class:`repro.sim.view.SimView`); the protocol-level Chord stack uses the
+same decision logic through its own adapter.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+import numpy as np
+
+from repro.config import SimulationConfig
+
+__all__ = ["NetworkView", "Strategy", "RoundStats"]
+
+
+@dataclass
+class RoundStats:
+    """Bookkeeping for one decision round (every ``decision_interval`` ticks).
+
+    These feed the maintenance-cost accounting the paper discusses
+    qualitatively: proactive strategies spend messages probing; reactive
+    ones only talk when overloaded.
+    """
+
+    sybils_created: int = 0
+    sybils_retired: int = 0
+    tasks_acquired: int = 0
+    messages: int = 0
+    invitations_sent: int = 0
+    invitations_refused: int = 0
+    actions_skipped: int = 0
+    relocations: int = 0
+
+    def merge_into(self, totals: dict[str, int]) -> None:
+        for name in (
+            "sybils_created",
+            "sybils_retired",
+            "tasks_acquired",
+            "messages",
+            "invitations_sent",
+            "invitations_refused",
+            "actions_skipped",
+            "relocations",
+        ):
+            totals[name] = totals.get(name, 0) + getattr(self, name)
+
+
+class NetworkView(abc.ABC):
+    """What a deciding node may see and do.  See module docstring."""
+
+    # -- static context ------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def config(self) -> SimulationConfig: ...
+
+    @property
+    @abc.abstractmethod
+    def rng(self) -> np.random.Generator: ...
+
+    @property
+    @abc.abstractmethod
+    def total_tasks(self) -> int:
+        """Job size — §V assumes nodes know the task count for a job."""
+
+    @property
+    @abc.abstractmethod
+    def initial_nodes(self) -> int:
+        """Initial network size (used for the invite-threshold estimate)."""
+
+    # -- owner census ----------------------------------------------------
+    @abc.abstractmethod
+    def network_owners(self) -> np.ndarray:
+        """Indices of physical nodes currently in the network."""
+
+    @abc.abstractmethod
+    def owner_loads(self) -> np.ndarray:
+        """Per-owner remaining workload snapshot for this decision round."""
+
+    @abc.abstractmethod
+    def live_owner_load(self, owner: int) -> int:
+        """Current (post-actions) workload of one owner."""
+
+    @abc.abstractmethod
+    def n_sybils(self, owner: int) -> int: ...
+
+    @abc.abstractmethod
+    def can_add_sybil(self, owner: int) -> bool: ...
+
+    # -- topology (local only) -------------------------------------------
+    @abc.abstractmethod
+    def main_slot(self, owner: int) -> int: ...
+
+    @abc.abstractmethod
+    def heaviest_slot(self, owner: int) -> int:
+        """The owner's slot holding the most remaining tasks."""
+
+    @abc.abstractmethod
+    def successor_slots(self, slot: int, k: int) -> np.ndarray: ...
+
+    @abc.abstractmethod
+    def predecessor_slots(self, slot: int, k: int) -> np.ndarray: ...
+
+    @abc.abstractmethod
+    def slot_owner(self, slot: int) -> int: ...
+
+    @abc.abstractmethod
+    def slot_count(self, slot: int) -> int:
+        """Remaining tasks held by a slot.  Reading another owner's slot
+        count models a workload *query* — call :meth:`count_messages`."""
+
+    @abc.abstractmethod
+    def slot_gap(self, slot: int) -> int:
+        """Responsibility-arc length of a slot — observable for free from
+        the successor list (ids are known locally, no query needed)."""
+
+    @abc.abstractmethod
+    def slot_id(self, slot: int) -> int: ...
+
+    # -- actions -----------------------------------------------------------
+    @abc.abstractmethod
+    def create_sybil_random(self, owner: int) -> int:
+        """Inject a Sybil at a uniformly random free identifier.
+
+        Returns the number of tasks acquired.
+        """
+
+    @abc.abstractmethod
+    def create_sybil_in_slot_arc(self, owner: int, slot: int) -> int | None:
+        """Inject a Sybil inside ``slot``'s responsibility arc, placed per
+        ``config.placement``.  Returns tasks acquired, or None when the
+        arc has no free identifier (action skipped)."""
+
+    @abc.abstractmethod
+    def retire_sybils(self, owner: int) -> int:
+        """Remove all of the owner's Sybils; returns how many quit."""
+
+    @abc.abstractmethod
+    def owner_strength(self, owner: int) -> int:
+        """The deciding node's own strength (local information)."""
+
+    @abc.abstractmethod
+    def relocate_main(self, owner: int, target_slot: int) -> int | None:
+        """Move the owner's *main identity* into ``target_slot``'s arc
+        (the §VII "choose your own ID" extension).  Returns tasks
+        acquired at the new position, or None when no identifier was
+        available."""
+
+    # -- accounting ----------------------------------------------------
+    @abc.abstractmethod
+    def count_messages(self, n: int = 1) -> None:
+        """Record ``n`` strategy-related messages (queries, invitations)."""
+
+    @property
+    @abc.abstractmethod
+    def stats(self) -> RoundStats: ...
+
+
+class Strategy(abc.ABC):
+    """Base class for the paper's load-balancing strategies.
+
+    Subclasses implement :meth:`decide`, invoked by the engine every
+    ``decision_interval`` ticks.  A strategy must only use the
+    :class:`NetworkView` API — the engine enforces per-owner Sybil caps
+    and the one-new-Sybil-per-round rule is the strategy's duty (all
+    shipped strategies honour it).
+    """
+
+    #: registry key; subclasses override
+    name: ClassVar[str] = "abstract"
+
+    def on_attach(self, view: NetworkView) -> None:
+        """One-time hook before the first tick (e.g. precompute thresholds)."""
+
+    @abc.abstractmethod
+    def decide(self, view: NetworkView) -> None:
+        """Run one decision round: every node checks its local state and acts."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def shuffled(view: NetworkView, owners: np.ndarray) -> np.ndarray:
+        """Randomize actor order — nodes act concurrently in reality, so no
+        deterministic priority should leak into the simulation."""
+        return view.rng.permutation(owners)
+
+
+@dataclass
+class StrategyInfo:
+    """Metadata used by the registry/CLI listing."""
+
+    name: str
+    proactive: bool
+    uses_sybils: bool
+    description: str = field(default="")

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "IdSpaceError",
+    "RingError",
+    "ProtocolError",
+    "SimulationError",
+    "StrategyError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class IdSpaceError(ReproError, ValueError):
+    """An identifier or interval does not fit the identifier space."""
+
+
+class RingError(ReproError):
+    """The ring state is invalid (empty ring, unknown slot, broken order)."""
+
+
+class ProtocolError(ReproError):
+    """A protocol-level Chord operation failed (dead node, bad RPC)."""
+
+
+class SimulationError(ReproError):
+    """The tick simulation reached an invalid state."""
+
+
+class StrategyError(ReproError):
+    """A load-balancing strategy was misused or misconfigured."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification cannot be satisfied."""

@@ -1,0 +1,28 @@
+"""Runnable reproductions of every table and figure in the paper.
+
+Each module exposes ``run(scale=None, seed=0, n_jobs=1)`` returning an
+:class:`~repro.experiments.spec.ExperimentResult`; the registry maps
+stable ids to those functions.  ``scale="quick"`` (default) runs a
+CI-sized version; ``scale="full"`` (or ``REPRO_SCALE=full``) runs the
+paper's 100-trial configuration.
+"""
+
+from repro.experiments.spec import ExperimentResult, resolve_scale, trials_for
+
+__all__ = [
+    "ExperimentResult",
+    "resolve_scale",
+    "trials_for",
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_ids",
+]
+
+
+def __getattr__(name: str):
+    # Lazy re-export to avoid importing every experiment at package import.
+    if name in ("EXPERIMENTS", "run_experiment", "experiment_ids"):
+        from repro.experiments import registry
+
+        return getattr(registry, name)
+    raise AttributeError(name)

@@ -1,0 +1,115 @@
+"""Figures 2 and 3 — unit-circle visualizations of a tiny Chord ring.
+
+Figure 2: 10 SHA-1-placed nodes (red circles) and 100 tasks (blue
+pluses) on the perimeter of the unit circle, mapped via
+``x = sin(2π·id/2¹⁶⁰)``, ``y = cos(2π·id/2¹⁶⁰)``.  Nodes cluster and some
+arcs are long — the visual argument for why hashing alone does not
+balance.
+
+Figure 3: the same 100 tasks but the 10 nodes perfectly evenly spaced;
+the tasks still cluster, so even ideal node placement leaves imbalance.
+
+We regenerate both layouts with true SHA-1 identifiers in the 160-bit
+space and report per-node task counts; ``repro.viz.ringplot`` renders the
+actual figures as SVG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.spec import ExperimentResult, resolve_scale
+from repro.hashspace.hashing import sha1_ids
+from repro.hashspace.idspace import SPACE_160
+from repro.hashspace.projection import project_many
+from repro.sim.arcops import responsible_slots
+from repro.util.rng import make_rng
+
+__all__ = ["run", "build_layout", "RingLayout"]
+
+
+class RingLayout:
+    """Node/task positions and the ownership mapping for one ring figure."""
+
+    def __init__(self, node_ids: list[int], task_ids: list[int]):
+        self.node_ids = sorted(node_ids)
+        self.task_ids = list(task_ids)
+        self.node_xy = project_many(self.node_ids, SPACE_160)
+        self.task_xy = project_many(self.task_ids, SPACE_160)
+        self.task_counts = self._count()
+
+    def _count(self) -> np.ndarray:
+        # Project the 160-bit ids into the 64-bit simulator space (an
+        # order-preserving truncation) to reuse the vectorized
+        # responsibility lookup; node_ids are already sorted.
+        shift = SPACE_160.bits - 64
+        nodes64 = np.array(
+            [nid >> shift for nid in self.node_ids], dtype=np.uint64
+        )
+        tasks64 = np.array(
+            [tid >> shift for tid in self.task_ids], dtype=np.uint64
+        )
+        if np.unique(nodes64).size != nodes64.size:  # pragma: no cover
+            raise ValueError("node ids collide after projection")
+        slots = responsible_slots(nodes64, tasks64)
+        return np.bincount(slots, minlength=len(self.node_ids))
+
+
+def build_layout(
+    n_nodes: int = 10,
+    n_tasks: int = 100,
+    *,
+    even_nodes: bool = False,
+    seed: int = 0,
+) -> RingLayout:
+    """Build the Figure 2 (hashed) or Figure 3 (even) layout."""
+    rng = make_rng(seed)
+    if even_nodes:
+        node_ids = SPACE_160.evenly_spaced(n_nodes)
+    else:
+        node_ids = _unique_sha1(n_nodes, rng)
+    task_ids = sha1_ids(n_tasks, SPACE_160, rng)
+    return RingLayout(node_ids, task_ids)
+
+
+def _unique_sha1(count: int, rng) -> list[int]:
+    ids: list[int] = []
+    seen: set[int] = set()
+    while len(ids) < count:
+        for ident in sha1_ids(count - len(ids), SPACE_160, rng):
+            if ident not in seen:
+                seen.add(ident)
+                ids.append(ident)
+    return ids
+
+
+def run(scale: str | None = None, seed: int = 0, n_jobs: int = 1) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    hashed = build_layout(10, 100, even_nodes=False, seed=seed)
+    even = build_layout(10, 100, even_nodes=True, seed=seed)
+
+    rows = []
+    for label, layout in (("fig2 hashed", hashed), ("fig3 even", even)):
+        counts = layout.task_counts
+        rows.append(
+            [
+                label,
+                int(counts.min()),
+                float(np.median(counts)),
+                int(counts.max()),
+                float(counts.std()),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="fig02_03",
+        title="Ring visualizations: hashed vs evenly spaced nodes (10n/100t)",
+        headers=["layout", "min tasks", "median", "max tasks", "std"],
+        rows=rows,
+        data={"hashed": hashed, "even": even},
+        notes=(
+            "Paper expectation: hashed nodes cluster (higher max/std); "
+            "even spacing helps but tasks still cluster (max stays well "
+            "above 10). Render with repro.viz.ringplot.render_ring_svg."
+        ),
+        scale=scale,
+    )

@@ -1,0 +1,103 @@
+"""Table I — median task distribution among nodes.
+
+The paper's Table I assigns ``tasks`` SHA-1 keys to ``nodes`` hash-placed
+nodes and reports, over 100 trials, the median per-node workload and its
+standard deviation.  The signature result: the median is ≈ ln 2 × the
+mean workload (nodes' responsibility arcs are exponentially distributed)
+and σ ≈ the mean — "the standard deviation is fairly close to the
+expected mean workload".
+
+No simulation runs here: the table measures the *initial* assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.experiments.spec import ExperimentResult, resolve_scale, trials_for
+from repro.metrics.balance import load_stats
+from repro.sim.engine import TickEngine
+from repro.util.rng import spawn_seeds
+
+__all__ = ["run", "PAPER_TABLE1", "GRID"]
+
+#: (nodes, tasks) grid exactly as printed in the paper
+GRID: list[tuple[int, int]] = [
+    (1000, 100_000),
+    (1000, 500_000),
+    (1000, 1_000_000),
+    (5000, 100_000),
+    (5000, 500_000),
+    (5000, 1_000_000),
+    (10000, 100_000),
+    (10000, 500_000),
+    (10000, 1_000_000),
+]
+
+#: the paper's reported (median, sigma) per grid row
+PAPER_TABLE1: dict[tuple[int, int], tuple[float, float]] = {
+    (1000, 100_000): (69.410, 137.27),
+    (1000, 500_000): (346.570, 499.169),
+    (1000, 1_000_000): (692.300, 996.982),
+    (5000, 100_000): (13.810, 20.477),
+    (5000, 500_000): (69.280, 100.344),
+    (5000, 1_000_000): (138.360, 200.564),
+    (10000, 100_000): (7.000, 10.492),
+    (10000, 500_000): (34.550, 50.366),
+    (10000, 1_000_000): (69.180, 100.319),
+}
+
+
+def measure_initial_distribution(
+    n_nodes: int, n_tasks: int, n_trials: int, seed: int
+) -> tuple[float, float]:
+    """Mean-over-trials of (median workload, σ) for a fresh assignment."""
+    medians = np.empty(n_trials)
+    sigmas = np.empty(n_trials)
+    for i, child in enumerate(spawn_seeds(seed, n_trials)):
+        engine = TickEngine(
+            SimulationConfig(n_nodes=n_nodes, n_tasks=n_tasks),
+            rng=np.random.Generator(np.random.PCG64(child)),
+        )
+        stats = load_stats(engine.network_loads())
+        medians[i] = stats.median
+        sigmas[i] = stats.std
+    return float(medians.mean()), float(sigmas.mean())
+
+
+def run(scale: str | None = None, seed: int = 0, n_jobs: int = 1) -> ExperimentResult:
+    """Reproduce Table I at the requested scale."""
+    scale = resolve_scale(scale)
+    n_trials = trials_for(scale, quick=5, full=100)
+    rows = []
+    for n_nodes, n_tasks in GRID:
+        median, sigma = measure_initial_distribution(
+            n_nodes, n_tasks, n_trials, seed
+        )
+        paper_med, paper_sig = PAPER_TABLE1[(n_nodes, n_tasks)]
+        rows.append(
+            [n_nodes, n_tasks, median, sigma, paper_med, paper_sig]
+        )
+    return ExperimentResult(
+        experiment_id="table1",
+        title=(
+            "Median distribution of tasks among nodes "
+            f"(avg of {n_trials} trials)"
+        ),
+        headers=[
+            "Nodes",
+            "Tasks",
+            "Median Workload",
+            "sigma",
+            "paper: Median",
+            "paper: sigma",
+        ],
+        rows=rows,
+        paper_expected={str(k): v for k, v in PAPER_TABLE1.items()},
+        notes=(
+            "Expected theory: median = ln(2) * tasks/nodes, sigma = "
+            "tasks/nodes (exponential responsibility arcs)."
+        ),
+        scale=scale,
+    )

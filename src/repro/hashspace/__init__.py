@@ -1,0 +1,37 @@
+"""Circular identifier spaces, hashing, intervals and ring projection.
+
+This subpackage is the geometric foundation of the reproduction: every
+other layer (protocol Chord, tick simulator, strategies, figures) builds
+on its wrapping arithmetic.
+"""
+
+from repro.hashspace.hashing import (
+    key_for,
+    sha1_id,
+    sha1_ids,
+    uniform_ids,
+    uniform_ids_array,
+)
+from repro.hashspace.idspace import SPACE_32, SPACE_64, SPACE_160, IdSpace
+from repro.hashspace.intervals import Arc
+from repro.hashspace.projection import (
+    angular_position,
+    project_many,
+    to_unit_circle,
+)
+
+__all__ = [
+    "IdSpace",
+    "SPACE_160",
+    "SPACE_64",
+    "SPACE_32",
+    "Arc",
+    "sha1_id",
+    "sha1_ids",
+    "uniform_ids",
+    "uniform_ids_array",
+    "key_for",
+    "to_unit_circle",
+    "project_many",
+    "angular_position",
+]

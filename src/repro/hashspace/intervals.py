@@ -1,0 +1,97 @@
+"""Wrapping intervals on a circular identifier space.
+
+A node in Chord is responsible for the arc ``(predecessor, self]``.  The
+:class:`Arc` type models such half-open clockwise arcs, including the
+degenerate full-circle arc (``start == end``), with helpers for length,
+membership, splitting and sampling.  It is a thin, well-tested layer over
+:class:`~repro.hashspace.idspace.IdSpace` arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import IdSpaceError
+from repro.hashspace.idspace import IdSpace
+
+__all__ = ["Arc"]
+
+
+@dataclass(frozen=True)
+class Arc:
+    """Clockwise arc ``(start, end]`` on ``space``.
+
+    ``start == end`` denotes the *full circle* (a single-node ring owns
+    everything), matching Chord's responsibility convention.
+    """
+
+    space: IdSpace
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        self.space.validate(self.start)
+        self.space.validate(self.end)
+
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of identifiers in the arc (full space when start == end)."""
+        span = self.space.distance(self.start, self.end)
+        return span if span != 0 else self.space.size
+
+    @property
+    def is_full_circle(self) -> bool:
+        return self.start == self.end
+
+    def fraction(self) -> float:
+        """Arc length as a fraction of the whole ring, in (0, 1]."""
+        return self.length / self.space.size
+
+    def contains(self, ident: int) -> bool:
+        """True when ``ident`` lies in ``(start, end]``."""
+        return self.space.in_interval(ident, self.start, self.end)
+
+    # ------------------------------------------------------------------
+    def split_at(self, ident: int) -> tuple["Arc", "Arc"]:
+        """Split into ``(start, ident]`` and ``(ident, end]``.
+
+        ``ident`` must lie strictly inside the arc (it may equal ``end``
+        only for the full circle, where any point splits it).  This is the
+        operation a joining node (or Sybil) performs: it takes over the
+        first sub-arc, the incumbent keeps the second.
+        """
+        if self.is_full_circle:
+            if ident == self.start:
+                raise IdSpaceError("cannot split a full circle at its anchor")
+            return (
+                Arc(self.space, self.start, ident),
+                Arc(self.space, ident, self.end),
+            )
+        if not self.contains(ident) or ident == self.end:
+            raise IdSpaceError(
+                f"split point {ident} not strictly inside arc "
+                f"({self.start}, {self.end}]"
+            )
+        return (
+            Arc(self.space, self.start, ident),
+            Arc(self.space, ident, self.end),
+        )
+
+    def midpoint(self) -> int:
+        """The identifier halfway along the arc."""
+        return self.space.midpoint(self.start, self.end)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Uniform identifier strictly inside the open arc (start, end).
+
+        Matches the paper's assumption that a node "searches for an
+        appropriate ID in between two other nodes" rather than choosing
+        an exact location.
+        """
+        return self.space.random_in_interval(rng, self.start, self.end)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Arc({self.start}, {self.end}] /2**{self.space.bits}"

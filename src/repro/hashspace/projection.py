@@ -1,0 +1,44 @@
+"""Unit-circle projection of identifiers (paper Figures 2 and 3).
+
+The paper visualizes a Chord ring by mapping each 160-bit identifier
+``id`` to the perimeter of the unit circle via::
+
+    x = sin(2*pi * id / 2**160)
+    y = cos(2*pi * id / 2**160)
+
+(so id 0 sits at the top and identifiers advance clockwise).  This module
+reproduces that mapping for any :class:`~repro.hashspace.idspace.IdSpace`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.hashspace.idspace import IdSpace
+
+__all__ = ["to_unit_circle", "project_many", "angular_position"]
+
+
+def angular_position(ident: int, space: IdSpace) -> float:
+    """Angle in radians (clockwise from the top) for an identifier."""
+    return 2.0 * math.pi * (ident / space.size)
+
+
+def to_unit_circle(ident: int, space: IdSpace) -> tuple[float, float]:
+    """Map one identifier to (x, y) on the unit circle, paper convention."""
+    theta = angular_position(ident, space)
+    return math.sin(theta), math.cos(theta)
+
+
+def project_many(idents: Iterable[int] | Sequence[int], space: IdSpace) -> np.ndarray:
+    """Map identifiers to an (n, 2) float array of unit-circle coordinates.
+
+    Large (e.g. 160-bit) identifiers are converted through ``float`` ring
+    fractions, which is exact enough for plotting (53-bit mantissa).
+    """
+    fractions = np.array([ident / space.size for ident in idents], dtype=float)
+    theta = 2.0 * np.pi * fractions
+    return np.column_stack((np.sin(theta), np.cos(theta)))

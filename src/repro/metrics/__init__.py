@@ -1,0 +1,47 @@
+"""Balance metrics, histograms, runtime factors, and distribution fits."""
+
+from repro.metrics.balance import LoadStats, gini, idle_fraction, load_stats
+from repro.metrics.distribution import (
+    ExponentialFit,
+    expected_median_ratio,
+    fit_exponential,
+    ks_exponential,
+    zipf_tail_exponent,
+)
+from repro.metrics.histograms import Histogram, histogram, log_edges, shared_edges
+from repro.metrics.stats_tests import (
+    WelchResult,
+    compare_factors,
+    mean_ci,
+    welch_t,
+)
+from repro.metrics.runtime import (
+    FactorSummary,
+    runtime_factor,
+    summarize_factors,
+)
+from repro.metrics.timeseries import TickSeries
+
+__all__ = [
+    "LoadStats",
+    "load_stats",
+    "gini",
+    "idle_fraction",
+    "Histogram",
+    "histogram",
+    "shared_edges",
+    "log_edges",
+    "runtime_factor",
+    "FactorSummary",
+    "summarize_factors",
+    "TickSeries",
+    "ExponentialFit",
+    "fit_exponential",
+    "ks_exponential",
+    "zipf_tail_exponent",
+    "expected_median_ratio",
+    "mean_ci",
+    "welch_t",
+    "WelchResult",
+    "compare_factors",
+]

@@ -1,0 +1,62 @@
+"""Runtime-factor arithmetic (§V-C of the paper).
+
+The paper's headline output: a network's *runtime factor* is its measured
+runtime in ticks divided by the "ideal runtime" — the time the job would
+take if every node of the initial network held an equal share and nothing
+churned.  A factor of 1 is the target; the no-strategy baseline lands
+around 5–7.5 depending on network size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["runtime_factor", "FactorSummary", "summarize_factors"]
+
+
+def runtime_factor(runtime_ticks: int, ideal_ticks: float) -> float:
+    """Ratio of measured to ideal runtime (the paper's §V-C definition)."""
+    if ideal_ticks <= 0:
+        raise ConfigError(f"ideal runtime must be positive, got {ideal_ticks}")
+    return runtime_ticks / ideal_ticks
+
+
+@dataclass(frozen=True)
+class FactorSummary:
+    """Aggregate of runtime factors over repeated trials."""
+
+    n_trials: int
+    mean: float
+    std: float
+    min: float
+    max: float
+    median: float
+
+    def as_dict(self) -> dict:
+        return {
+            "n_trials": self.n_trials,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+            "median": self.median,
+        }
+
+
+def summarize_factors(factors: list[float] | np.ndarray) -> FactorSummary:
+    """Mean/std/min/max/median of per-trial runtime factors."""
+    x = np.asarray(factors, dtype=np.float64)
+    if x.size == 0:
+        raise ConfigError("cannot summarize zero trials")
+    return FactorSummary(
+        n_trials=int(x.size),
+        mean=float(x.mean()),
+        std=float(x.std(ddof=1)) if x.size > 1 else 0.0,
+        min=float(x.min()),
+        max=float(x.max()),
+        median=float(np.median(x)),
+    )

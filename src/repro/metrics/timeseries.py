@@ -1,0 +1,72 @@
+"""Per-tick time series of network activity.
+
+The paper reports "the average work per tick and statistical information
+about how the tasks are distributed throughout the network"; this module
+accumulates those series cheaply (append-only Python lists converted to
+arrays on demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TickSeries"]
+
+
+@dataclass
+class TickSeries:
+    """Append-only per-tick records; one entry per completed tick."""
+
+    ticks: list[int] = field(default_factory=list)
+    consumed: list[int] = field(default_factory=list)
+    remaining: list[int] = field(default_factory=list)
+    n_slots: list[int] = field(default_factory=list)
+    n_in_network: list[int] = field(default_factory=list)
+    idle_owners: list[int] = field(default_factory=list)
+
+    def append(
+        self,
+        tick: int,
+        consumed: int,
+        remaining: int,
+        n_slots: int,
+        n_in_network: int,
+        idle_owners: int,
+    ) -> None:
+        self.ticks.append(tick)
+        self.consumed.append(consumed)
+        self.remaining.append(remaining)
+        self.n_slots.append(n_slots)
+        self.n_in_network.append(n_in_network)
+        self.idle_owners.append(idle_owners)
+
+    def __len__(self) -> int:
+        return len(self.ticks)
+
+    # ------------------------------------------------------------------
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """All series as NumPy arrays keyed by field name."""
+        return {
+            "ticks": np.asarray(self.ticks, dtype=np.int64),
+            "consumed": np.asarray(self.consumed, dtype=np.int64),
+            "remaining": np.asarray(self.remaining, dtype=np.int64),
+            "n_slots": np.asarray(self.n_slots, dtype=np.int64),
+            "n_in_network": np.asarray(self.n_in_network, dtype=np.int64),
+            "idle_owners": np.asarray(self.idle_owners, dtype=np.int64),
+        }
+
+    def mean_work_per_tick(self) -> float:
+        """Average tasks consumed per tick — the paper's "work per tick"."""
+        if not self.consumed:
+            return 0.0
+        return float(np.mean(self.consumed))
+
+    def utilization(self) -> np.ndarray:
+        """Consumed / active-network-size per tick (1.0 = nobody idled)."""
+        consumed = np.asarray(self.consumed, dtype=np.float64)
+        active = np.asarray(self.n_in_network, dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.where(active > 0, consumed / active, 0.0)
+        return util

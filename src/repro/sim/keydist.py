@@ -1,0 +1,114 @@
+"""Non-uniform task-key distributions (extension beyond the paper).
+
+The paper keys every task with SHA-1 of its name, giving uniform keys.
+Real corpora are rarely uniform at the *application* level: chunks of
+the same file hash to unrelated places, but tasks derived from shared
+inputs (replicas, hot datasets, range-partitioned keys) can concentrate.
+Two skew models stress the strategies:
+
+``clustered``
+    Keys gather around ``n_clusters`` uniformly placed centers with a
+    Gaussian spread of ``cluster_spread`` of the ring per cluster, all
+    clusters equally likely — a "range-partitioned inputs" workload.
+``zipf``
+    Same centers, but the cluster choice follows a Zipf law with the
+    configured exponent — a few red-hot regions hold most of the work.
+
+Both keep keys valid uniform-independent *within* their neighbourhood,
+so responsibility arithmetic is unchanged; only the spatial density of
+work differs.  The ``ext_skew`` experiment measures how much worse the
+baseline gets (much) and which strategies still rescue it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.hashspace.idspace import IdSpace
+from repro.sim.workload import draw_task_keys
+
+__all__ = ["generate_task_keys", "clustered_keys", "zipf_cluster_keys"]
+
+_U64 = np.uint64
+
+
+def _cluster_centers(
+    n_clusters: int, space: IdSpace, rng: np.random.Generator
+) -> np.ndarray:
+    return draw_task_keys(n_clusters, space, rng)
+
+
+def _scatter_around(
+    centers: np.ndarray,
+    assignment: np.ndarray,
+    spread: float,
+    space: IdSpace,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Gaussian jitter around each key's assigned center, wrapping."""
+    sigma = spread * space.size
+    offsets = rng.normal(0.0, sigma, size=assignment.size)
+    # signed offsets as two's-complement uint64: uint64 addition wraps
+    # mod 2**64, and masking reduces that to mod 2**bits exactly
+    off_u = np.clip(offsets, -(2.0**62), 2.0**62).astype(np.int64)
+    keys = centers[assignment] + off_u.astype(_U64)
+    return keys & _U64(space.max_id)
+
+
+def clustered_keys(
+    count: int,
+    space: IdSpace,
+    rng: np.random.Generator,
+    *,
+    n_clusters: int = 8,
+    spread: float = 0.01,
+) -> np.ndarray:
+    """Keys clustered around uniformly placed centers (equal weights)."""
+    centers = _cluster_centers(n_clusters, space, rng)
+    assignment = rng.integers(0, n_clusters, size=count)
+    return _scatter_around(centers, assignment, spread, space, rng)
+
+
+def zipf_cluster_keys(
+    count: int,
+    space: IdSpace,
+    rng: np.random.Generator,
+    *,
+    n_clusters: int = 8,
+    spread: float = 0.01,
+    exponent: float = 1.2,
+) -> np.ndarray:
+    """Keys clustered with Zipf-weighted cluster popularity."""
+    centers = _cluster_centers(n_clusters, space, rng)
+    weights = 1.0 / np.arange(1, n_clusters + 1, dtype=float) ** exponent
+    weights /= weights.sum()
+    assignment = rng.choice(n_clusters, size=count, p=weights)
+    return _scatter_around(centers, assignment, spread, space, rng)
+
+
+def generate_task_keys(
+    count: int,
+    config: SimulationConfig,
+    space: IdSpace,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``count`` task keys per the config's key distribution."""
+    if config.key_distribution == "uniform":
+        return draw_task_keys(count, space, rng)
+    if config.key_distribution == "clustered":
+        return clustered_keys(
+            count,
+            space,
+            rng,
+            n_clusters=config.n_clusters,
+            spread=config.cluster_spread,
+        )
+    return zipf_cluster_keys(
+        count,
+        space,
+        rng,
+        n_clusters=config.n_clusters,
+        spread=config.cluster_spread,
+        exponent=config.zipf_exponent,
+    )

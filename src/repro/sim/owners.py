@@ -1,0 +1,153 @@
+"""Registry of physical nodes ("owners") behind ring slots.
+
+The paper distinguishes *physical* nodes from the (possibly several)
+*virtual* identities they present on the ring: a node's main identity
+plus any Sybils it has injected.  The tick simulator mirrors this split:
+
+* a **slot** is one position on the ring (see :mod:`repro.sim.state`);
+* an **owner** is the physical machine behind one or more slots.
+
+Owners carry the per-machine attributes from §V-B of the paper — strength
+(heterogeneity), per-tick consumption rate (work measurement), and the
+Sybil budget — plus churn bookkeeping (in-network vs. waiting pool).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.config import SimulationConfig
+
+__all__ = ["OwnerRegistry"]
+
+
+class OwnerRegistry:
+    """Array-of-attributes store for all physical nodes in an experiment.
+
+    Owners are identified by dense integer indices ``0 .. n_owners-1``.
+    In churn experiments the registry holds *both* the initial network and
+    the waiting pool (the paper starts the pool at network size); the
+    ``in_network`` flag tracks which side each owner currently sits on.
+    """
+
+    def __init__(self, config: SimulationConfig, rng: np.random.Generator):
+        n = config.n_nodes
+        # The waiting pool only exists when churn can occur.
+        self.pool_size = n if config.churn_rate > 0 else 0
+        total = n + self.pool_size
+
+        if config.heterogeneous:
+            # strength drawn uniformly from 1..maxSybils (§V-B Homogeneity)
+            self.strength = rng.integers(
+                1, config.max_sybils + 1, size=total, dtype=np.int64
+            )
+        else:
+            self.strength = np.ones(total, dtype=np.int64)
+
+        if config.work_measurement == "strength":
+            self.rate = self.strength.copy()
+        else:
+            self.rate = np.ones(total, dtype=np.int64)
+
+        if config.heterogeneous:
+            # a heterogeneous node may have up to `strength` Sybils (§IV-B)
+            self.sybil_cap = self.strength.copy()
+        else:
+            self.sybil_cap = np.full(total, config.max_sybils, dtype=np.int64)
+
+        self.in_network = np.zeros(total, dtype=bool)
+        self.in_network[:n] = True
+        #: live Sybil count per owner (main identity excluded)
+        self.n_sybils = np.zeros(total, dtype=np.int64)
+        #: ring id of the owner's main identity (valid while in_network)
+        self.main_id = np.zeros(total, dtype=np.uint64)
+
+        self._config = config
+
+    # ------------------------------------------------------------------
+    @property
+    def n_total(self) -> int:
+        """All physical nodes, in-network plus waiting."""
+        return self.strength.shape[0]
+
+    @property
+    def network_indices(self) -> np.ndarray:
+        """Indices of owners currently participating in the network."""
+        return np.flatnonzero(self.in_network)
+
+    @property
+    def waiting_indices(self) -> np.ndarray:
+        """Indices of owners currently in the waiting pool."""
+        return np.flatnonzero(~self.in_network)
+
+    @property
+    def n_in_network(self) -> int:
+        return int(self.in_network.sum())
+
+    def network_capacity(self) -> int:
+        """Aggregate tasks consumed per tick by the current network."""
+        return int(self.rate[self.in_network].sum())
+
+    def initial_capacity(self) -> int:
+        """Aggregate per-tick rate of the *initial* network (owners 0..n-1).
+
+        This is the denominator of the ideal runtime: the paper's ideal is
+        computed from the starting network composition, before any churn
+        or Sybil activity.
+        """
+        n = self._config.n_nodes
+        return int(self.rate[:n].sum())
+
+    # ------------------------------------------------------------------
+    def can_add_sybil(self, owner: int) -> bool:
+        """Whether ``owner`` may inject one more Sybil right now."""
+        return bool(
+            self.in_network[owner]
+            and self.n_sybils[owner] < self.sybil_cap[owner]
+        )
+
+    def register_sybil(self, owner: int) -> None:
+        if not self.can_add_sybil(owner):
+            raise SimulationError(
+                f"owner {owner} cannot add a Sybil "
+                f"(in_network={bool(self.in_network[owner])}, "
+                f"sybils={int(self.n_sybils[owner])}/"
+                f"{int(self.sybil_cap[owner])})"
+            )
+        self.n_sybils[owner] += 1
+
+    def unregister_sybils(self, owner: int, count: int) -> None:
+        if count < 0 or count > self.n_sybils[owner]:
+            raise SimulationError(
+                f"owner {owner} cannot drop {count} Sybils "
+                f"(has {int(self.n_sybils[owner])})"
+            )
+        self.n_sybils[owner] -= count
+
+    def leave_network(self, owner: int) -> None:
+        """Move an owner to the waiting pool (its slots must be removed
+        separately by the ring state)."""
+        if not self.in_network[owner]:
+            raise SimulationError(f"owner {owner} is not in the network")
+        self.in_network[owner] = False
+        self.n_sybils[owner] = 0
+
+    def join_network(self, owner: int, main_id: int) -> None:
+        """Move a waiting owner into the network with a fresh main id."""
+        if self.in_network[owner]:
+            raise SimulationError(f"owner {owner} is already in the network")
+        self.in_network[owner] = True
+        self.n_sybils[owner] = 0
+        self.main_id[owner] = np.uint64(main_id)
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests)."""
+        if (self.strength < 1).any():
+            raise ConfigError("owner strengths must be >= 1")
+        if (self.n_sybils < 0).any() or (
+            self.n_sybils > self.sybil_cap
+        ).any():
+            raise SimulationError("sybil counts out of bounds")
+        if (self.n_sybils[~self.in_network] != 0).any():
+            raise SimulationError("waiting owners must have no sybils")

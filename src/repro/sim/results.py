@@ -1,0 +1,116 @@
+"""Result containers for single runs and multi-trial aggregates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.histograms import Histogram
+from repro.metrics.runtime import FactorSummary, summarize_factors
+from repro.metrics.timeseries import TickSeries
+from repro.config import SimulationConfig
+
+__all__ = ["SimulationResult", "TrialSet"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured in one simulated computation.
+
+    Attributes
+    ----------
+    config:
+        The exact configuration that produced this run (provenance).
+    runtime_ticks:
+        Ticks until the last task finished (== ``max_ticks`` if aborted).
+    ideal_ticks:
+        The paper's ideal runtime for this configuration.
+    completed:
+        False when the run hit the ``max_ticks`` safety cap.
+    snapshots:
+        Workload histograms at the configured ``snapshot_ticks``.
+    timeseries:
+        Per-tick series (only populated when ``collect_timeseries``).
+    counters:
+        Event totals: sybils created/retired, churn joins/leaves,
+        strategy messages, tasks acquired by Sybils, decision rounds.
+    final_loads:
+        Remaining per-owner workload at the end (all zeros if completed).
+    """
+
+    config: SimulationConfig
+    runtime_ticks: int
+    ideal_ticks: float
+    completed: bool
+    total_consumed: int
+    snapshots: list[Histogram] = field(default_factory=list)
+    timeseries: TickSeries | None = None
+    counters: dict[str, int] = field(default_factory=dict)
+    final_loads: np.ndarray | None = None
+
+    @property
+    def runtime_factor(self) -> float:
+        return self.runtime_ticks / self.ideal_ticks
+
+    def snapshot_at(self, tick: int) -> Histogram:
+        for snap in self.snapshots:
+            if snap.tick == tick:
+                return snap
+        raise KeyError(f"no snapshot recorded at tick {tick}")
+
+    def summary(self) -> dict:
+        return {
+            "strategy": self.config.strategy,
+            "n_nodes": self.config.n_nodes,
+            "n_tasks": self.config.n_tasks,
+            "runtime_ticks": self.runtime_ticks,
+            "ideal_ticks": self.ideal_ticks,
+            "runtime_factor": self.runtime_factor,
+            "completed": self.completed,
+            **{f"n_{k}": v for k, v in sorted(self.counters.items())},
+        }
+
+
+@dataclass
+class TrialSet:
+    """Aggregate of several independent trials of one configuration."""
+
+    config: SimulationConfig
+    results: list[SimulationResult]
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.results)
+
+    @property
+    def factors(self) -> np.ndarray:
+        return np.array([r.runtime_factor for r in self.results])
+
+    def factor_summary(self) -> FactorSummary:
+        return summarize_factors(self.factors)
+
+    @property
+    def mean_factor(self) -> float:
+        return float(self.factors.mean())
+
+    def factor_ci(self, confidence: float = 0.95) -> tuple[float, float, float]:
+        """(mean, lower, upper) CI of the runtime factor across trials."""
+        from repro.metrics.stats_tests import mean_ci
+
+        return mean_ci(self.factors, confidence)
+
+    def compare_with(self, other: "TrialSet") -> dict:
+        """Statistical comparison against another TrialSet (Welch t)."""
+        from repro.metrics.stats_tests import compare_factors
+
+        return compare_factors(self.factors, other.factors)
+
+    def counter_means(self) -> dict[str, float]:
+        keys: set[str] = set()
+        for r in self.results:
+            keys.update(r.counters)
+        return {
+            k: float(np.mean([r.counters.get(k, 0) for r in self.results]))
+            for k in sorted(keys)
+        }

@@ -1,0 +1,359 @@
+"""Ring state for the vectorized tick simulator.
+
+The simulator models the DHT as a sorted array of **slots** (virtual node
+identities — a physical node's main identity or one of its Sybils).  Each
+slot owns the clockwise arc from its predecessor (exclusive) to itself
+(inclusive), and holds the *remaining* task keys in that arc.
+
+Key storage is designed for the hot loop (see DESIGN.md §5):
+
+* ``keys[i]`` is a ``uint64`` array whose first ``counts[i]`` entries are
+  the slot's remaining task keys, in uniformly random order;
+* consuming a task is a decrement of ``counts[i]`` (the tail entry is
+  considered consumed) — O(1), no per-task objects;
+* structural operations (join/Sybil split, leave merge) first materialize
+  the remaining prefix, then partition it exactly by key, preserving the
+  random-order invariant (merges are reshuffled).
+
+Because consumption order within a slot is uniformly random and splits
+partition by key value, the simulator performs *exact key accounting*: a
+Sybil acquires precisely the still-unfinished tasks whose keys fall in
+its new arc, as in a real DHT with active backups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IdSpaceError, RingError
+from repro.hashspace.idspace import IdSpace
+from repro.sim.arcops import arc_lengths, in_arc_mask, responsible_slots
+
+__all__ = ["RingState"]
+
+_U64 = np.uint64
+
+
+class RingState:
+    """Mutable ring of slots with exact task-key accounting.
+
+    Parameters
+    ----------
+    space:
+        Identifier space (must be at most 64 bits wide).
+    ids:
+        Strictly increasing ``uint64`` array of slot identifiers.
+    owner:
+        Physical-owner index per slot.
+    is_main:
+        True for a physical node's main identity, False for Sybil slots.
+    keys:
+        Per-slot arrays of task keys (randomly ordered); the whole array
+        is "remaining" at construction time.
+    rng:
+        Generator used for reshuffling merged key arrays.
+    """
+
+    def __init__(
+        self,
+        space: IdSpace,
+        ids: np.ndarray,
+        owner: np.ndarray,
+        is_main: np.ndarray,
+        keys: list[np.ndarray],
+        rng: np.random.Generator,
+    ):
+        if space.bits > 64:
+            raise IdSpaceError("RingState requires a <=64-bit id space")
+        self.space = space
+        self.ids = np.asarray(ids, dtype=_U64)
+        self.owner = np.asarray(owner, dtype=np.int64)
+        self.is_main = np.asarray(is_main, dtype=bool)
+        self.keys: list[np.ndarray] = [np.asarray(k, dtype=_U64) for k in keys]
+        self.counts = np.array([k.size for k in self.keys], dtype=np.int64)
+        self.rng = rng
+        self.n_sybil_slots = int((~self.is_main).sum())
+        self._check_shapes()
+        if self.ids.size and not (self.ids[:-1] < self.ids[1:]).all():
+            raise RingError("slot ids must be strictly increasing")
+
+    def _check_shapes(self) -> None:
+        m = self.ids.size
+        if not (
+            self.owner.size == m
+            and self.is_main.size == m
+            and len(self.keys) == m
+            and self.counts.size == m
+        ):
+            raise RingError("ring arrays have inconsistent lengths")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        space: IdSpace,
+        node_ids: np.ndarray,
+        node_owners: np.ndarray,
+        task_keys: np.ndarray,
+        rng: np.random.Generator,
+    ) -> "RingState":
+        """Build the initial ring: sort node ids and assign task keys.
+
+        ``node_ids`` must be unique.  ``task_keys`` are assigned to the
+        responsible slot by the ``(pred, self]`` rule; within a slot they
+        keep their (random) generation order, which realizes the
+        uniform-consumption-order invariant for free.
+        """
+        node_ids = np.asarray(node_ids, dtype=_U64)
+        node_owners = np.asarray(node_owners, dtype=np.int64)
+        if node_ids.size == 0:
+            raise RingError("cannot build an empty ring")
+        if np.unique(node_ids).size != node_ids.size:
+            raise RingError("node ids must be unique")
+        order = np.argsort(node_ids)
+        ids = node_ids[order]
+        owner = node_owners[order]
+        is_main = np.ones(ids.size, dtype=bool)
+
+        task_keys = np.asarray(task_keys, dtype=_U64)
+        slot_idx = responsible_slots(ids, task_keys)
+        grouping = np.argsort(slot_idx, kind="stable")
+        grouped = task_keys[grouping]
+        per_slot = np.bincount(slot_idx, minlength=ids.size)
+        offsets = np.concatenate(([0], np.cumsum(per_slot)))
+        keys = [
+            grouped[offsets[i] : offsets[i + 1]].copy()
+            for i in range(ids.size)
+        ]
+        return cls(space, ids, owner, is_main, keys, rng)
+
+    # ------------------------------------------------------------------
+    # read-only queries
+    # ------------------------------------------------------------------
+    @property
+    def n_slots(self) -> int:
+        return self.ids.size
+
+    def total_remaining(self) -> int:
+        """Unfinished tasks across the whole ring."""
+        return int(self.counts.sum())
+
+    def remaining_keys(self, slot: int) -> np.ndarray:
+        """View of the slot's remaining task keys (do not mutate)."""
+        return self.keys[slot][: self.counts[slot]]
+
+    def pred_id(self, slot: int) -> int:
+        """Predecessor identifier (the exclusive start of the slot's arc)."""
+        return int(self.ids[slot - 1])  # negative index wraps to the last slot
+
+    def slot_arc(self, slot: int) -> tuple[int, int]:
+        """The slot's responsibility arc ``(pred_id, own_id]``."""
+        return self.pred_id(slot), int(self.ids[slot])
+
+    def gaps(self) -> np.ndarray:
+        """Responsibility-arc length of every slot (uint64)."""
+        return arc_lengths(self.ids, self.space.size)
+
+    def slot_gap(self, slot: int) -> int:
+        """Arc length of one slot."""
+        if self.n_slots == 1:
+            return self.space.size - 1  # saturated full circle
+        return (int(self.ids[slot]) - self.pred_id(slot)) % self.space.size
+
+    def id_exists(self, ident: int) -> bool:
+        pos = int(np.searchsorted(self.ids, _U64(ident)))
+        return pos < self.n_slots and int(self.ids[pos]) == ident
+
+    def find_slot(self, key: int) -> int:
+        """Index of the slot responsible for ``key``."""
+        if self.n_slots == 0:
+            raise RingError("empty ring")
+        pos = int(np.searchsorted(self.ids, _U64(key), side="left"))
+        return pos if pos < self.n_slots else 0
+
+    def slots_of_owner(self, owner: int) -> np.ndarray:
+        """All slot indices belonging to a physical owner."""
+        return np.flatnonzero(self.owner == owner)
+
+    def main_slot_of(self, owner: int) -> int:
+        """Index of the owner's main-identity slot."""
+        hits = np.flatnonzero((self.owner == owner) & self.is_main)
+        if hits.size != 1:
+            raise RingError(
+                f"owner {owner} has {hits.size} main slots (expected 1)"
+            )
+        return int(hits[0])
+
+    def successor_slots(self, slot: int, k: int) -> np.ndarray:
+        """Indices of the ``k`` slots clockwise after ``slot``."""
+        return (slot + 1 + np.arange(k)) % self.n_slots
+
+    def predecessor_slots(self, slot: int, k: int) -> np.ndarray:
+        """Indices of the ``k`` slots counter-clockwise before ``slot``."""
+        return (slot - 1 - np.arange(k)) % self.n_slots
+
+    def owner_loads(self, n_owners: int) -> np.ndarray:
+        """Remaining tasks per physical owner (int64, length ``n_owners``)."""
+        loads = np.bincount(
+            self.owner, weights=self.counts, minlength=n_owners
+        )
+        return loads.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_tasks(self, keys: np.ndarray) -> None:
+        """Inject newly arrived task keys into their responsible slots.
+
+        Supports the streaming-arrival extension: merged key arrays are
+        reshuffled so tail consumption stays uniformly random.
+        """
+        keys = np.asarray(keys, dtype=_U64)
+        if keys.size == 0:
+            return
+        slot_idx = responsible_slots(self.ids, keys)
+        for slot in np.unique(slot_idx):
+            fresh = keys[slot_idx == slot]
+            merged = np.concatenate((self.remaining_keys(int(slot)), fresh))
+            merged = self.rng.permutation(merged)
+            self.keys[int(slot)] = merged
+            self.counts[int(slot)] = merged.size
+
+    def consume_at(self, slots: np.ndarray, amounts: np.ndarray) -> None:
+        """Consume ``amounts[i]`` tasks from ``slots[i]`` (vectorized)."""
+        self.counts[slots] -= amounts
+        if (self.counts[slots] < 0).any():
+            raise RingError("consumed more tasks than a slot holds")
+
+    def insert_slot(
+        self, new_id: int, owner: int, *, is_main: bool
+    ) -> tuple[int, int]:
+        """Insert a new identity and transfer the keys it is responsible for.
+
+        Returns ``(slot_index, acquired_count)``.  Raises
+        :class:`IdSpaceError` when ``new_id`` collides with an existing
+        slot (callers redraw).
+        """
+        nid = _U64(self.space.validate(new_id))
+        pos = int(np.searchsorted(self.ids, nid, side="left"))
+        if pos < self.n_slots and self.ids[pos] == nid:
+            raise IdSpaceError(f"identifier {new_id} already on the ring")
+        succ = pos if pos < self.n_slots else 0
+        pred = self.pred_id(succ)
+
+        remaining = self.remaining_keys(succ)
+        mask = in_arc_mask(remaining, pred, int(nid))
+        taken = remaining[mask]
+        kept = remaining[~mask]
+
+        self.ids = np.insert(self.ids, pos, nid)
+        self.owner = np.insert(self.owner, pos, owner)
+        self.is_main = np.insert(self.is_main, pos, is_main)
+        self.counts = np.insert(self.counts, pos, taken.size)
+        self.keys.insert(pos, taken)
+        if not is_main:
+            self.n_sybil_slots += 1
+
+        succ_new = succ + 1 if pos <= succ else succ
+        self.keys[succ_new] = kept
+        self.counts[succ_new] = kept.size
+        return pos, int(taken.size)
+
+    def remove_slot(self, slot: int) -> int:
+        """Remove a slot, merging its remaining keys into its successor.
+
+        Models both a node leaving under churn (active backups make the
+        hand-off lossless) and a Sybil quitting.  Returns the number of
+        keys transferred.
+        """
+        if self.n_slots <= 1:
+            raise RingError("cannot remove the last slot on the ring")
+        succ = (slot + 1) % self.n_slots
+        moved = self.remaining_keys(slot)
+        if moved.size:
+            merged = np.concatenate((moved, self.remaining_keys(succ)))
+            # reshuffle so tail-consumption stays uniform over the merge
+            merged = self.rng.permutation(merged)
+        else:
+            merged = self.remaining_keys(succ).copy()
+
+        if not self.is_main[slot]:
+            self.n_sybil_slots -= 1
+        self.ids = np.delete(self.ids, slot)
+        self.owner = np.delete(self.owner, slot)
+        self.is_main = np.delete(self.is_main, slot)
+        self.counts = np.delete(self.counts, slot)
+        self.keys.pop(slot)
+
+        succ_new = succ - 1 if succ > slot else succ
+        self.keys[succ_new] = merged
+        self.counts[succ_new] = merged.size
+        return int(moved.size)
+
+    def remove_owner(self, owner: int) -> int:
+        """Remove every slot of a physical owner (main + Sybils).
+
+        Returns the number of keys handed off to successors.
+        """
+        moved = 0
+        while True:
+            slots = self.slots_of_owner(owner)
+            if slots.size == 0:
+                return moved
+            moved += self.remove_slot(int(slots[0]))
+
+    def retire_sybils(self, owner: int) -> int:
+        """Remove the owner's Sybil slots, keeping its main identity.
+
+        Returns the number of Sybil slots removed.
+        """
+        removed = 0
+        while True:
+            slots = np.flatnonzero((self.owner == owner) & ~self.is_main)
+            if slots.size == 0:
+                return removed
+            self.remove_slot(int(slots[0]))
+            removed += 1
+
+    def median_key(self, slot: int) -> int | None:
+        """Median remaining key of the slot *by ring position within its arc*.
+
+        Used by the ``placement="median"`` ablation: a Sybil placed at the
+        median key takes over half the slot's remaining tasks.  Returns
+        None when the slot has fewer than 2 remaining keys.
+        """
+        remaining = self.remaining_keys(slot)
+        if remaining.size < 2:
+            return None
+        pred = self.pred_id(slot)
+        # clockwise distance from the arc start: uint64 subtraction wraps
+        # mod 2**64; masking reduces it to mod 2**bits (2**64 is a multiple
+        # of the space size for any bits <= 64)
+        ordered = np.sort((remaining - _U64(pred)) & _U64(self.space.max_id))
+        mid = ordered[(ordered.size - 1) // 2]
+        return (pred + int(mid)) % self.space.size
+
+    # ------------------------------------------------------------------
+    # validation (tests / debugging)
+    # ------------------------------------------------------------------
+    def verify_invariants(self) -> None:
+        """Raise :class:`RingError` if any structural invariant is broken."""
+        self._check_shapes()
+        if self.n_slots == 0:
+            raise RingError("empty ring")
+        if not (self.ids[:-1] < self.ids[1:]).all():
+            raise RingError("ids not strictly increasing")
+        if (self.counts < 0).any():
+            raise RingError("negative remaining count")
+        for i in range(self.n_slots):
+            if self.counts[i] > self.keys[i].size:
+                raise RingError(f"slot {i}: count exceeds stored keys")
+            remaining = self.remaining_keys(i)
+            if remaining.size:
+                pred, own = self.slot_arc(i)
+                if not in_arc_mask(remaining, pred, own).all():
+                    raise RingError(f"slot {i}: key outside responsibility arc")
+        if self.n_sybil_slots != int((~self.is_main).sum()):
+            raise RingError("sybil slot counter out of sync")

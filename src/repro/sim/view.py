@@ -1,0 +1,228 @@
+"""The tick simulator's implementation of the strategy-facing view.
+
+:class:`SimView` adapts (:class:`~repro.sim.state.RingState`,
+:class:`~repro.sim.owners.OwnerRegistry`) to the
+:class:`~repro.core.strategy.NetworkView` interface.  It also owns the
+per-round accounting (Sybils created/retired, tasks acquired, messages),
+and realizes the paper's placement assumption: Sybil identifiers are
+*searched for* inside a target range, not chosen exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.strategy import NetworkView, RoundStats
+from repro.errors import IdSpaceError
+from repro.config import SimulationConfig
+from repro.sim.owners import OwnerRegistry
+from repro.sim.state import RingState
+from repro.sim.workload import draw_new_node_id
+
+__all__ = ["SimView"]
+
+
+class SimView(NetworkView):
+    """Local-information window onto the simulated network."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        state: RingState,
+        owners: OwnerRegistry,
+        rng: np.random.Generator,
+        *,
+        event_sink=None,
+    ):
+        self._config = config
+        self._state = state
+        self._owners = owners
+        self._rng = rng
+        self._loads: np.ndarray | None = None
+        self._stats = RoundStats()
+        self._emit = event_sink if event_sink is not None else (
+            lambda kind, **fields: None
+        )
+
+    # ------------------------------------------------------------------
+    # round lifecycle (driven by the engine)
+    # ------------------------------------------------------------------
+    def begin_round(self) -> RoundStats:
+        """Snapshot owner loads and reset round accounting.
+
+        All nodes decide "simultaneously" from the workloads observed at
+        the start of the round, as in the paper's Figure 7 description of
+        a single load-balancing operation.
+        """
+        self._loads = self._state.owner_loads(self._owners.n_total)
+        self._stats = RoundStats()
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # NetworkView: static context
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> SimulationConfig:
+        return self._config
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    @property
+    def total_tasks(self) -> int:
+        return self._config.n_tasks
+
+    @property
+    def initial_nodes(self) -> int:
+        return self._config.n_nodes
+
+    # ------------------------------------------------------------------
+    # NetworkView: owner census
+    # ------------------------------------------------------------------
+    def network_owners(self) -> np.ndarray:
+        return self._owners.network_indices
+
+    def owner_loads(self) -> np.ndarray:
+        if self._loads is None:
+            self._loads = self._state.owner_loads(self._owners.n_total)
+        return self._loads
+
+    def live_owner_load(self, owner: int) -> int:
+        slots = self._state.slots_of_owner(owner)
+        return int(self._state.counts[slots].sum())
+
+    def n_sybils(self, owner: int) -> int:
+        return int(self._owners.n_sybils[owner])
+
+    def can_add_sybil(self, owner: int) -> bool:
+        return self._owners.can_add_sybil(owner)
+
+    # ------------------------------------------------------------------
+    # NetworkView: topology
+    # ------------------------------------------------------------------
+    def main_slot(self, owner: int) -> int:
+        return self._state.main_slot_of(owner)
+
+    def heaviest_slot(self, owner: int) -> int:
+        slots = self._state.slots_of_owner(owner)
+        counts = self._state.counts[slots]
+        return int(slots[int(np.argmax(counts))])
+
+    def successor_slots(self, slot: int, k: int) -> np.ndarray:
+        k = min(k, self._state.n_slots - 1)
+        return self._state.successor_slots(slot, k)
+
+    def predecessor_slots(self, slot: int, k: int) -> np.ndarray:
+        k = min(k, self._state.n_slots - 1)
+        return self._state.predecessor_slots(slot, k)
+
+    def slot_owner(self, slot: int) -> int:
+        return int(self._state.owner[slot])
+
+    def slot_count(self, slot: int) -> int:
+        return int(self._state.counts[slot])
+
+    def slot_gap(self, slot: int) -> int:
+        return self._state.slot_gap(slot)
+
+    def slot_id(self, slot: int) -> int:
+        return int(self._state.ids[slot])
+
+    # ------------------------------------------------------------------
+    # NetworkView: actions
+    # ------------------------------------------------------------------
+    def create_sybil_random(self, owner: int) -> int:
+        ident = draw_new_node_id(
+            self._state.space, self._rng, self._state.id_exists
+        )
+        return self._create_sybil(owner, ident)
+
+    def create_sybil_in_slot_arc(self, owner: int, slot: int) -> int | None:
+        ident = self._place_in_slot(slot)
+        if ident is None:
+            return None
+        return self._create_sybil(owner, ident)
+
+    def retire_sybils(self, owner: int) -> int:
+        removed = self._state.retire_sybils(owner)
+        self._owners.unregister_sybils(owner, removed)
+        self._stats.sybils_retired += removed
+        if removed:
+            self._emit("sybils_retired", owner=owner, count=removed)
+        return removed
+
+    def owner_strength(self, owner: int) -> int:
+        return int(self._owners.strength[owner])
+
+    def relocate_main(self, owner: int, target_slot: int) -> int | None:
+        """Move the owner's main identity into ``target_slot``'s arc
+        (§VII "choose your own ID" extension).
+
+        The new identity is inserted first (acquiring its share of the
+        target's keys), then the old main slot is removed — its leftover
+        tasks flow to its old successor, like any graceful departure.
+        """
+        state = self._state
+        ident = self._place_in_slot(target_slot)
+        if ident is None:
+            return None
+        old_main = state.main_slot_of(owner)
+        pos, acquired = state.insert_slot(ident, owner, is_main=True)
+        old_idx = old_main + 1 if pos <= old_main else old_main
+        state.remove_slot(old_idx)
+        self._owners.main_id[owner] = np.uint64(ident)
+        self._stats.relocations += 1
+        self._stats.tasks_acquired += acquired
+        self._stats.messages += 2  # leave handshake + join handshake
+        self._emit("relocation", owner=owner, ident=ident,
+                   acquired=acquired)
+        return acquired
+
+    def count_messages(self, n: int = 1) -> None:
+        self._stats.messages += n
+
+    @property
+    def stats(self) -> RoundStats:
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _create_sybil(self, owner: int, ident: int) -> int:
+        self._owners.register_sybil(owner)  # validates the budget
+        _, acquired = self._state.insert_slot(ident, owner, is_main=False)
+        self._stats.sybils_created += 1
+        self._stats.tasks_acquired += acquired
+        # joining is at least one message (the join handshake)
+        self._stats.messages += 1
+        self._emit("sybil_created", owner=owner, ident=ident,
+                   acquired=acquired)
+        return acquired
+
+    def _place_in_slot(self, slot: int) -> int | None:
+        """Choose an unoccupied identifier inside ``slot``'s arc, honouring
+        ``config.placement`` (random / midpoint / median-split)."""
+        state = self._state
+        start, end = state.slot_arc(slot)
+        placement = self._config.placement
+        if placement == "median":
+            ident = state.median_key(slot)
+            if ident is not None and not state.id_exists(ident):
+                return ident
+            placement = "random"  # fall back when the slot is nearly empty
+        if placement == "midpoint":
+            ident = state.space.midpoint(start, end)
+            if not state.id_exists(ident) and state.space.in_interval(
+                ident, start, end, closed_right=False
+            ):
+                return ident
+            placement = "random"
+        for _ in range(8):
+            try:
+                ident = state.space.random_in_interval(self._rng, start, end)
+            except IdSpaceError:
+                return None  # arc too small to host a new identity
+            if ident != end and not state.id_exists(ident):
+                return ident
+        return None

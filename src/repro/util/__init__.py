@@ -1,0 +1,13 @@
+"""Shared utilities: reproducible RNG streams and text tables."""
+
+from repro.util.rng import make_rng, spawn_rngs, spawn_seeds
+from repro.util.tables import format_float, format_kv, format_table
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "spawn_seeds",
+    "format_table",
+    "format_float",
+    "format_kv",
+]

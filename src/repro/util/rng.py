@@ -1,0 +1,61 @@
+"""Reproducible random-stream management.
+
+All stochastic components in the library draw from NumPy ``Generator``
+objects derived from a single :class:`numpy.random.SeedSequence`.  Trials
+of an experiment get *spawned* child sequences, so
+
+* the same top-level seed always reproduces the same results, and
+* trials are statistically independent and can run in parallel without
+  sharing generator state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs", "spawn_seeds"]
+
+
+def make_rng(seed: int | None | np.random.SeedSequence = None) -> np.random.Generator:
+    """Build a PCG64 generator from a seed, SeedSequence, or fresh entropy."""
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.Generator(np.random.PCG64(seed))
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: int | None, count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent child seed sequences from a root seed."""
+    root = np.random.SeedSequence(seed)
+    return root.spawn(count)
+
+
+def spawn_rngs(seed: int | None, count: int) -> list[np.random.Generator]:
+    """``count`` independent generators from a root seed."""
+    return [make_rng(child) for child in spawn_seeds(seed, count)]
+
+
+def rng_state_fingerprint(rng: np.random.Generator) -> int:
+    """Small integer fingerprint of generator state (determinism tests)."""
+    state = rng.bit_generator.state["state"]
+    if isinstance(state, dict):
+        return hash(tuple(sorted((k, int(v)) for k, v in state.items())))
+    return hash(int(state))
+
+
+def interleave(seqs: Sequence[Sequence]) -> list:
+    """Round-robin interleave several sequences (used by workload mixers)."""
+    out: list = []
+    iters = [iter(s) for s in seqs]
+    alive = list(iters)
+    while alive:
+        next_alive = []
+        for it in alive:
+            try:
+                out.append(next(it))
+                next_alive.append(it)
+            except StopIteration:
+                pass
+        alive = next_alive
+    return out

@@ -1,0 +1,73 @@
+"""Plain-text table rendering for experiment output.
+
+The experiment harness prints its reproduced tables in the same row/column
+layout as the paper; this module owns the formatting so every experiment
+renders consistently without pulling in heavyweight dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_float", "format_kv"]
+
+
+def format_float(value: Any, digits: int = 3) -> str:
+    """Format numbers compactly; pass through non-numeric cells."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    digits: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render a monospace table with aligned columns.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; cells are formatted with
+        :func:`format_float`.
+    digits:
+        Decimal places for float cells.
+    title:
+        Optional title line printed above the table.
+    """
+    str_rows = [[format_float(c, digits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict[str, Any], *, digits: int = 3) -> str:
+    """Render a key/value block, one pair per line, aligned keys."""
+    if not pairs:
+        return ""
+    width = max(len(k) for k in pairs)
+    return "\n".join(
+        f"{k.ljust(width)} : {format_float(v, digits)}" for k, v in pairs.items()
+    )

@@ -1,0 +1,19 @@
+"""Offline rendering: ASCII histograms, SVG ring plots, CSV/JSON export."""
+
+from repro.viz.ascii import bar_chart, render_histogram, render_side_by_side
+from repro.viz.export import result_to_json, write_csv, write_json
+from repro.viz.ringplot import render_ring_svg, ring_svg
+from repro.viz.timeline import sparkline, utilization_timeline
+
+__all__ = [
+    "render_histogram",
+    "render_side_by_side",
+    "bar_chart",
+    "ring_svg",
+    "render_ring_svg",
+    "write_csv",
+    "write_json",
+    "result_to_json",
+    "sparkline",
+    "utilization_timeline",
+]

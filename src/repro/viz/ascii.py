@@ -1,0 +1,86 @@
+"""ASCII rendering of histograms and bar series.
+
+The experiment harness prints figure data directly in the terminal —
+useful offline and in CI logs, where the paper's matplotlib figures are
+unavailable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.histograms import Histogram
+
+__all__ = ["render_histogram", "render_side_by_side", "bar_chart"]
+
+_BLOCK = "█"
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart with proportional block bars."""
+    out = [title] if title else []
+    top = max(values) if values and max(values) > 0 else 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = _BLOCK * max(0, round(width * value / top))
+        out.append(f"{label.rjust(label_w)} | {bar} {value:g}")
+    return "\n".join(out)
+
+
+def render_histogram(
+    hist: Histogram, *, width: int = 50, max_rows: int = 25
+) -> str:
+    """Render one workload histogram, one bin per row.
+
+    Consecutive bins are merged down to ``max_rows`` rows so wide
+    histograms stay readable.
+    """
+    edges = hist.edges
+    counts = hist.counts
+    if counts.size > max_rows:
+        group = int(np.ceil(counts.size / max_rows))
+        merged_counts = [
+            int(counts[i : i + group].sum())
+            for i in range(0, counts.size, group)
+        ]
+        merged_edges = [edges[i] for i in range(0, counts.size, group)]
+        merged_edges.append(edges[-1])
+        counts = np.asarray(merged_counts)
+        edges = np.asarray(merged_edges)
+    labels = [
+        f"[{edges[i]:.0f},{edges[i + 1]:.0f})" for i in range(counts.size)
+    ]
+    title = f"{hist.label or 'loads'} @ tick {hist.tick} (n={hist.n_nodes})"
+    return bar_chart(labels, [int(c) for c in counts], width=width, title=title)
+
+
+def render_side_by_side(
+    left: Histogram, right: Histogram, *, width: int = 30
+) -> str:
+    """Two histograms over shared bins, printed in facing columns —
+    the layout of the paper's comparison figures."""
+    if left.edges.shape != right.edges.shape or not np.allclose(
+        left.edges, right.edges
+    ):
+        raise ValueError("histograms must share bin edges")
+    edges = left.edges
+    top = max(int(left.counts.max()), int(right.counts.max()), 1)
+    header = (
+        f"{(left.label or 'left').center(width)} | bin | "
+        f"{(right.label or 'right').center(width)}"
+    )
+    lines = [header, "-" * len(header)]
+    for i in range(left.counts.size):
+        lc = int(left.counts[i])
+        rc = int(right.counts[i])
+        lbar = (_BLOCK * round(width * lc / top)).rjust(width)
+        rbar = _BLOCK * round(width * rc / top)
+        label = f"{edges[i]:6.0f}"
+        lines.append(f"{lbar} |{label} | {rbar}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""CSV/JSON export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.experiments.spec import ExperimentResult
+
+__all__ = ["write_csv", "write_json", "result_to_json"]
+
+
+def write_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Write an experiment's rows as CSV (headers included)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+    return path
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def result_to_json(result: ExperimentResult) -> dict:
+    """JSON-safe dict of the tabular payload (raw artifacts summarized)."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "scale": result.scale,
+        "headers": list(result.headers),
+        "rows": _jsonable(result.rows),
+        "paper_expected": _jsonable(result.paper_expected),
+        "notes": result.notes,
+    }
+
+
+def write_json(result: ExperimentResult, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(result_to_json(result), indent=2))
+    return path

@@ -1,0 +1,85 @@
+"""SVG rendering of ring layouts (paper Figures 2 and 3).
+
+Pure-stdlib SVG writer: red circles for nodes, blue pluses for tasks on
+the unit circle, exactly the paper's visual convention.  No matplotlib
+required, so the figures regenerate in any offline environment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["render_ring_svg", "ring_svg"]
+
+
+def _transform(xy: np.ndarray, size: int, margin: int) -> np.ndarray:
+    """Map unit-circle coordinates to SVG pixel space (y axis flipped)."""
+    radius = (size - 2 * margin) / 2
+    cx = cy = size / 2
+    out = np.empty_like(xy)
+    out[:, 0] = cx + xy[:, 0] * radius
+    out[:, 1] = cy - xy[:, 1] * radius
+    return out
+
+
+def ring_svg(
+    node_xy: np.ndarray,
+    task_xy: np.ndarray,
+    *,
+    size: int = 480,
+    margin: int = 30,
+    title: str = "",
+) -> str:
+    """Build the SVG document for one ring figure.
+
+    Parameters
+    ----------
+    node_xy / task_xy:
+        (n, 2) arrays of unit-circle coordinates (from
+        :func:`repro.hashspace.projection.project_many`).
+    """
+    nodes = _transform(np.asarray(node_xy, dtype=float), size, margin)
+    tasks = _transform(np.asarray(task_xy, dtype=float), size, margin)
+    radius = (size - 2 * margin) / 2
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+        f'<circle cx="{size / 2}" cy="{size / 2}" r="{radius}" '
+        'fill="none" stroke="#bbbbbb" stroke-width="1"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{size / 2}" y="{margin / 2 + 6}" font-size="14" '
+            f'text-anchor="middle" fill="#333333">{title}</text>'
+        )
+    plus = 5
+    for x, y in tasks:
+        parts.append(
+            f'<path d="M {x - plus} {y} H {x + plus} M {x} {y - plus} '
+            f'V {y + plus}" stroke="#1f4fd8" stroke-width="1.6" '
+            'fill="none"/>'
+        )
+    for x, y in nodes:
+        parts.append(
+            f'<circle cx="{x}" cy="{y}" r="7" fill="#d62828" '
+            'stroke="#7a0f0f" stroke-width="1.5"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_ring_svg(
+    node_xy: np.ndarray,
+    task_xy: np.ndarray,
+    path: str | Path,
+    *,
+    size: int = 480,
+    title: str = "",
+) -> Path:
+    """Write the ring figure to ``path``; returns the written path."""
+    path = Path(path)
+    path.write_text(ring_svg(node_xy, task_xy, size=size, title=title))
+    return path

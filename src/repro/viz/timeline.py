@@ -1,0 +1,48 @@
+"""Unicode sparklines for per-tick series.
+
+Condenses a whole run's utilization (or any series) into one terminal
+line — the examples use it to show *when* each strategy loses steam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "utilization_timeline"]
+
+_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: np.ndarray, *, width: int = 60, lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Render a series as a fixed-width unicode sparkline.
+
+    The series is mean-pooled into ``width`` buckets; ``lo``/``hi`` pin
+    the scale (defaults to the data range) so multiple sparklines can
+    share an axis.
+    """
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        return ""
+    if x.size > width:
+        # mean-pool into `width` buckets
+        edges = np.linspace(0, x.size, width + 1).astype(int)
+        x = np.array(
+            [x[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    lo = float(x.min()) if lo is None else lo
+    hi = float(x.max()) if hi is None else hi
+    if hi <= lo:
+        return _LEVELS[0] * x.size
+    scaled = np.clip((x - lo) / (hi - lo), 0.0, 1.0)
+    idx = np.minimum(
+        (scaled * len(_LEVELS)).astype(int), len(_LEVELS) - 1
+    )
+    return "".join(_LEVELS[i] for i in idx)
+
+
+def utilization_timeline(series, *, width: int = 60) -> str:
+    """Sparkline of a TickSeries' utilization, pinned to [0, 1]."""
+    return sparkline(series.utilization(), width=width, lo=0.0, hi=1.0)

@@ -1,0 +1,42 @@
+"""Shared fixtures: small, fast configurations for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.hashspace.idspace import IdSpace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def space8() -> IdSpace:
+    """Tiny space where collisions and wraps are easy to hit."""
+    return IdSpace(8)
+
+
+@pytest.fixture
+def space16() -> IdSpace:
+    return IdSpace(16)
+
+
+@pytest.fixture
+def space64() -> IdSpace:
+    return IdSpace(64)
+
+
+@pytest.fixture
+def small_config() -> SimulationConfig:
+    """100 nodes / 5000 tasks: runs in ~50ms, still shows imbalance."""
+    return SimulationConfig(n_nodes=100, n_tasks=5000, seed=7)
+
+
+@pytest.fixture
+def tiny_config() -> SimulationConfig:
+    """Very small: for tests that run many simulations."""
+    return SimulationConfig(n_nodes=30, n_tasks=600, seed=7)

@@ -1,0 +1,165 @@
+"""Tests for the theory module and convergence profiling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import profile_run
+from repro.analysis.theory import (
+    expected_baseline_factor,
+    expected_idle_fraction,
+    expected_max_workload,
+    expected_median_workload,
+    expected_workload_std,
+    harmonic,
+    predicted_histogram,
+    workload_ccdf,
+)
+from repro.config import SimulationConfig
+from repro.metrics.balance import load_stats
+from repro.sim.engine import TickEngine, run_simulation
+
+
+class TestHarmonic:
+    def test_small_values(self):
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == 1.5
+        assert harmonic(4) == pytest.approx(25 / 12)
+
+    def test_large_asymptotic(self):
+        n = 1_000_000
+        g = 0.5772156649015329
+        assert harmonic(n) == pytest.approx(math.log(n) + g, abs=1e-5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic(0)
+
+
+class TestPaperPredictions:
+    """The theory reproduces the paper's numbers with no simulation."""
+
+    def test_baseline_factor_matches_table2_row0(self):
+        # paper churn-0 row: 7.476 (1000 nodes), ~5.02-5.04 (100 nodes)
+        assert expected_baseline_factor(1000) == pytest.approx(7.485, abs=0.01)
+        assert expected_baseline_factor(100) == pytest.approx(5.187, abs=0.01)
+
+    def test_median_matches_table1(self):
+        assert expected_median_workload(1000, 1_000_000) == pytest.approx(
+            692.3, abs=1.0
+        )
+        assert expected_median_workload(10000, 100_000) == pytest.approx(
+            6.93, abs=0.05
+        )
+
+    def test_sigma_matches_table1(self):
+        # paper: (1000n, 1e6t) sigma = 996.982
+        assert expected_workload_std(1000, 1_000_000) == pytest.approx(
+            1000.5, abs=1.0
+        )
+        # paper: (5000n, 5e5t) sigma = 100.344
+        assert expected_workload_std(5000, 500_000) == pytest.approx(
+            100.5, abs=0.5
+        )
+
+
+class TestTheoryVsSimulation:
+    @pytest.fixture(scope="class")
+    def loads(self):
+        engine = TickEngine(
+            SimulationConfig(n_nodes=2000, n_tasks=400_000, seed=0)
+        )
+        return engine.network_loads()
+
+    def test_median(self, loads):
+        stats = load_stats(loads)
+        assert stats.median == pytest.approx(
+            expected_median_workload(2000, 400_000), rel=0.08
+        )
+
+    def test_std(self, loads):
+        stats = load_stats(loads)
+        assert stats.std == pytest.approx(
+            expected_workload_std(2000, 400_000), rel=0.10
+        )
+
+    def test_max(self, loads):
+        stats = load_stats(loads)
+        assert stats.max == pytest.approx(
+            expected_max_workload(2000, 400_000), rel=0.35
+        )
+
+    def test_ccdf(self, loads):
+        mean = 200.0
+        for x in (0.5 * mean, mean, 2 * mean):
+            empirical = float((loads > x).mean())
+            predicted = float(workload_ccdf(np.array([x]), 2000, 400_000)[0])
+            assert empirical == pytest.approx(predicted, abs=0.03)
+
+    def test_predicted_histogram_sums_to_n(self):
+        edges = np.linspace(0, 5000, 40)
+        pred = predicted_histogram(edges, 2000, 400_000)
+        # bins up to 25x the mean capture almost every node
+        assert pred.sum() == pytest.approx(2000, rel=0.01)
+
+    def test_baseline_factor(self):
+        factors = [
+            run_simulation(
+                SimulationConfig(n_nodes=300, n_tasks=60_000, seed=seed)
+            ).runtime_factor
+            for seed in range(5)
+        ]
+        assert np.mean(factors) == pytest.approx(
+            expected_baseline_factor(300), rel=0.12
+        )
+
+    def test_idle_fraction_trajectory(self):
+        config = SimulationConfig(
+            n_nodes=500, n_tasks=50_000, seed=3, snapshot_ticks=(35,)
+        )
+        engine = TickEngine(config)
+        engine.run()
+        loads35 = engine.snapshot_loads()[35]
+        empirical = float((loads35 == 0).mean())
+        predicted = expected_idle_fraction(500, 50_000, 35)
+        assert empirical == pytest.approx(predicted, abs=0.05)
+
+
+class TestConvergenceProfile:
+    def test_profile_fields_consistent(self):
+        profile = profile_run(
+            SimulationConfig(n_nodes=100, n_tasks=5000, seed=1)
+        )
+        assert profile.runtime_ticks > 0
+        assert 0 < profile.utilization_auc <= 1.0
+        # utilization AUC is the reciprocal of the factor for fixed size
+        assert profile.utilization_auc == pytest.approx(
+            1.0 / profile.runtime_factor, rel=0.02
+        )
+        assert profile.peak_network_size == 100
+
+    def test_balancing_improves_auc(self):
+        base = SimulationConfig(n_nodes=100, n_tasks=10_000, seed=2)
+        plain = profile_run(base)
+        balanced = profile_run(
+            base.with_updates(strategy="random_injection")
+        )
+        assert balanced.utilization_auc > plain.utilization_auc
+        assert balanced.wasted_node_ticks < plain.wasted_node_ticks
+        assert balanced.ticks_to_half_idle >= plain.ticks_to_half_idle
+        assert balanced.peak_network_size > 100  # sybils counted
+
+    def test_as_dict(self):
+        profile = profile_run(
+            SimulationConfig(n_nodes=50, n_tasks=1000, seed=3)
+        )
+        d = profile.as_dict()
+        assert set(d) == {
+            "runtime_ticks",
+            "runtime_factor",
+            "utilization_auc",
+            "ticks_to_half_idle",
+            "wasted_node_ticks",
+            "peak_network_size",
+        }

@@ -1,0 +1,87 @@
+"""Tests for the inverted-index application and the viz timeline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.invertedindex import build_inverted_index, search
+from repro.config import SimulationConfig
+from repro.sim.engine import run_simulation
+from repro.viz.timeline import sparkline, utilization_timeline
+
+DOCS = [
+    "the chord ring",
+    "the sybil attack",
+    "ring of tasks and the chord overlay",
+    "autonomous balancing",
+]
+
+
+class TestInvertedIndex:
+    @pytest.fixture(scope="class")
+    def index(self):
+        index, report = build_inverted_index(DOCS, n_nodes=12, seed=0)
+        return index, report
+
+    def test_postings_correct(self, index):
+        idx, _ = index
+        assert idx["chord"] == (0, 2)
+        assert idx["sybil"] == (1,)
+        assert idx["the"] == (0, 1, 2)
+
+    def test_postings_deduplicated(self, index):
+        idx, _ = index
+        # "ring" appears once per doc even though doc 2 mentions it once
+        assert idx["ring"] == (0, 2)
+
+    def test_report(self, index):
+        _, report = index
+        assert report.n_map_tasks == len(DOCS)
+        assert report.n_reduce_tasks == len(set(" ".join(DOCS).split()))
+
+    def test_same_index_under_balancing(self):
+        plain, _ = build_inverted_index(DOCS, n_nodes=12, seed=0)
+        balanced, _ = build_inverted_index(
+            DOCS, n_nodes=12, strategy="random_injection", seed=0
+        )
+        assert plain == balanced
+
+    def test_search_and(self, index):
+        idx, _ = index
+        assert search(idx, "the chord") == (0, 2)
+        assert search(idx, "the sybil") == (1,)
+        assert search(idx, "chord sybil") == ()
+        assert search(idx, "") == ()
+        assert search(idx, "unknownword") == ()
+
+
+class TestSparkline:
+    def test_levels_scale(self):
+        out = sparkline(np.array([0.0, 0.5, 1.0]), width=3)
+        assert out[0] == "▁"
+        assert out[-1] == "█"
+        assert len(out) == 3
+
+    def test_pooling_to_width(self):
+        out = sparkline(np.arange(1000), width=20)
+        assert len(out) == 20
+        # monotone series -> non-decreasing glyph levels
+        levels = ["▁▂▃▄▅▆▇█".index(c) for c in out]
+        assert levels == sorted(levels)
+
+    def test_flat_series(self):
+        assert sparkline(np.array([5.0, 5.0]), width=2) == "▁▁"
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_utilization_timeline(self):
+        result = run_simulation(
+            SimulationConfig(
+                n_nodes=100, n_tasks=5000, collect_timeseries=True, seed=1
+            )
+        )
+        line = utilization_timeline(result.timeseries, width=30)
+        assert len(line) == 30
+        # baseline: busy at the start, idle at the end
+        assert line[0] in "▇█"
+        assert line[-1] in "▁▂"

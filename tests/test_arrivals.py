@@ -1,0 +1,101 @@
+"""Tests for the streaming task-arrival extension."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.sim.engine import TickEngine, run_simulation
+
+
+def arrival_config(**overrides) -> SimulationConfig:
+    overrides.setdefault("n_nodes", 100)
+    overrides.setdefault("n_tasks", 2000)
+    overrides.setdefault("arrival_rate", 50.0)
+    overrides.setdefault("arrival_until", 40)
+    overrides.setdefault("seed", 11)
+    return SimulationConfig(**overrides)
+
+
+class TestArrivalMechanics:
+    def test_tasks_arrive_and_are_consumed(self):
+        result = run_simulation(arrival_config())
+        arrived = result.counters["tasks_arrived"]
+        assert arrived > 0
+        assert result.completed
+        assert result.total_consumed == 2000 + arrived
+
+    def test_engine_not_finished_while_arrivals_pending(self):
+        engine = TickEngine(arrival_config(n_tasks=0))
+        # initial workload empty, but arrivals are still due
+        assert not engine.finished
+        while not engine.finished:
+            engine.step()
+        assert engine.tick >= 40
+        assert engine.total_consumed == engine.total_injected - engine.remaining
+
+    def test_ideal_uses_total_injected(self):
+        result = run_simulation(arrival_config())
+        total = 2000 + result.counters["tasks_arrived"]
+        assert result.ideal_ticks == pytest.approx(total / 100)
+
+    def test_no_arrivals_after_window(self):
+        engine = TickEngine(arrival_config(arrival_until=10))
+        for _ in range(25):
+            if engine.finished:
+                break
+            engine.step()
+        arrived_at_10 = engine.counters["tasks_arrived"]
+        while not engine.finished:
+            engine.step()
+        assert engine.counters["tasks_arrived"] == arrived_at_10
+
+    def test_determinism_with_arrivals(self):
+        a = run_simulation(arrival_config())
+        b = run_simulation(arrival_config())
+        assert a.runtime_ticks == b.runtime_ticks
+        assert a.counters == b.counters
+
+    def test_invariants_during_arrivals(self):
+        engine = TickEngine(arrival_config())
+        for _ in range(50):
+            if engine.finished:
+                break
+            engine.step()
+            engine.state.verify_invariants()
+
+
+class TestArrivalsWithStrategies:
+    @pytest.mark.parametrize(
+        "strategy", ["random_injection", "invitation"]
+    )
+    def test_strategies_complete_under_arrivals(self, strategy):
+        result = run_simulation(arrival_config(strategy=strategy))
+        assert result.completed
+        arrived = result.counters["tasks_arrived"]
+        assert result.total_consumed == 2000 + arrived
+
+    def test_balancing_beats_baseline_under_arrivals(self):
+        base = run_simulation(arrival_config())
+        balanced = run_simulation(
+            arrival_config(strategy="random_injection")
+        )
+        assert balanced.runtime_factor < base.runtime_factor
+
+
+class TestAddTasks:
+    def test_add_tasks_lands_in_responsible_slots(self, rng):
+        import numpy as np
+
+        engine = TickEngine(
+            SimulationConfig(n_nodes=20, n_tasks=0, seed=1)
+        )
+        keys = rng.integers(0, 2**64, size=200, dtype=np.uint64)
+        engine.state.add_tasks(keys)
+        assert engine.state.total_remaining() == 200
+        engine.state.verify_invariants()
+
+    def test_add_empty_is_noop(self):
+        import numpy as np
+
+        engine = TickEngine(SimulationConfig(n_nodes=20, n_tasks=50, seed=1))
+        engine.state.add_tasks(np.array([], dtype=np.uint64))
+        assert engine.state.total_remaining() == 50

@@ -1,0 +1,126 @@
+"""Tests of the protocol-level balancer (strategies on real Chord)."""
+
+import pytest
+
+from repro.chord.balance import ProtocolSimulation
+from repro.config import SimulationConfig
+from repro.errors import SimulationError
+
+
+def make_sim(strategy="none", **overrides) -> ProtocolSimulation:
+    overrides.setdefault("n_nodes", 30)
+    overrides.setdefault("n_tasks", 600)
+    overrides.setdefault("bits", 32)
+    overrides.setdefault("seed", 3)
+    config = SimulationConfig(strategy=strategy, **overrides)
+    return ProtocolSimulation(config)
+
+
+class TestSetup:
+    def test_builds_consistent_ring(self):
+        sim = make_sim()
+        sim.ring.verify()
+        assert sim.remaining() == 600
+        assert len(sim.hosts) == 30
+
+    def test_churn_supported(self):
+        sim = make_sim(strategy="churn", churn_rate=0.02)
+        out = sim.run()
+        assert out["completed"]
+        assert out["churn_joins"] > 0 and out["churn_leaves"] > 0
+
+    def test_churn_exactly_once(self):
+        consumed = []
+        sim = make_sim(strategy="churn", churn_rate=0.02, n_tasks=700)
+        sim.on_consume = lambda k, v: consumed.append(k)
+        sim.run()
+        assert len(consumed) == 700
+        assert len(set(consumed)) == 700
+
+    def test_churn_network_size_bounded(self):
+        sim = make_sim(strategy="churn", churn_rate=0.05)
+        for _ in range(60):
+            if sim.remaining() == 0:
+                break
+            sim.step()
+            in_net = sum(1 for h in sim.hosts if h.in_network)
+            assert 2 <= in_net <= 60  # pool + network = 2x initial
+
+    def test_items_length_validated(self):
+        config = SimulationConfig(
+            strategy="none", n_nodes=10, n_tasks=5, bits=32, seed=1
+        )
+        with pytest.raises(SimulationError):
+            ProtocolSimulation(config, items={1: "x"})
+
+
+class TestBaseline:
+    def test_runs_to_completion(self):
+        sim = make_sim()
+        out = sim.run()
+        assert out["completed"]
+        assert sim.remaining() == 0
+        assert out["runtime_factor"] >= 1.0
+
+    def test_runtime_counts_every_task_once(self):
+        consumed = []
+        sim = make_sim()
+        sim.on_consume = lambda k, v: consumed.append(k)
+        sim.run()
+        assert len(consumed) == 600
+        assert len(set(consumed)) == 600  # exactly-once under no churn
+
+
+class TestStrategiesOnProtocol:
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            "random_injection",
+            "neighbor_injection",
+            "smart_neighbor_injection",
+            "invitation",
+        ],
+    )
+    def test_strategy_completes_and_helps(self, strategy):
+        baseline = make_sim().run()
+        balanced = make_sim(strategy=strategy).run()
+        assert balanced["completed"]
+        assert balanced["runtime_factor"] <= baseline["runtime_factor"]
+
+    def test_random_injection_creates_sybils(self):
+        out = make_sim(strategy="random_injection").run()
+        assert out["sybils_created"] > 0
+
+    def test_exactly_once_execution_with_sybils(self):
+        """The Sybil life-cycle (join, acquire, retire) must not duplicate
+        or lose any task."""
+        consumed = []
+        sim = make_sim(strategy="random_injection", n_tasks=800)
+        sim.on_consume = lambda k, v: consumed.append(k)
+        sim.run()
+        assert len(consumed) == 800
+        assert len(set(consumed)) == 800
+
+    def test_ring_consistent_after_balancing(self):
+        sim = make_sim(strategy="random_injection")
+        sim.run()
+        for _ in range(3):
+            sim.ring.maintenance_round()
+        sim.ring.verify()
+
+
+class TestAgreementWithTickSimulator:
+    def test_factors_agree_across_layers(self):
+        """The fast simulator and the protocol stack implement the same
+        semantics; their runtime factors must agree within trial noise."""
+        from repro.sim.engine import run_simulation
+
+        config = SimulationConfig(
+            strategy="none", n_nodes=40, n_tasks=2000, bits=32, seed=5
+        )
+        protocol = ProtocolSimulation(config).run()
+        tick = run_simulation(config)
+        # identical model, different id draws: expect the same ballpark
+        assert protocol["runtime_factor"] == pytest.approx(
+            tick.runtime_factor, rel=0.5
+        )

@@ -1,0 +1,90 @@
+"""Tests of the in-memory RPC fabric."""
+
+import pytest
+
+from repro.chord.network import SimNetwork
+from repro.chord.node import ChordNode
+from repro.errors import ProtocolError
+from repro.hashspace.idspace import IdSpace
+
+SPACE = IdSpace(16)
+
+
+def make_node(net: SimNetwork, ident: int) -> ChordNode:
+    node = ChordNode(ident, SPACE, net)
+    node.create() if len(net) == 0 else None
+    return node
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        net = SimNetwork()
+        node = ChordNode(10, SPACE, net)
+        node.create()
+        assert net.has_node(10)
+        assert net.is_alive(10)
+        assert net.node(10) is node
+
+    def test_unknown_node_raises(self):
+        net = SimNetwork()
+        with pytest.raises(ProtocolError):
+            net.node(99)
+
+    def test_reregister_live_id_rejected(self):
+        net = SimNetwork()
+        ChordNode(10, SPACE, net).create()
+        with pytest.raises(ProtocolError):
+            ChordNode(10, SPACE, net).create()
+
+    def test_dead_id_can_be_reused(self):
+        net = SimNetwork()
+        node = ChordNode(10, SPACE, net)
+        node.create()
+        node.fail()
+        replacement = ChordNode(10, SPACE, net)
+        replacement.alive = True
+        net.register(replacement)
+        assert net.node(10) is replacement
+
+    def test_alive_ids_sorted(self):
+        net = SimNetwork()
+        first = ChordNode(30, SPACE, net)
+        first.create()
+        ChordNode(10, SPACE, net).join(30)
+        assert net.alive_ids() == [10, 30]
+        assert len(net) == 2
+        assert net.node_count() == 2
+
+
+class TestRpc:
+    def test_rpc_counts_messages(self):
+        net = SimNetwork()
+        ChordNode(10, SPACE, net).create()
+        net.reset_messages()
+        net.rpc(10, "rpc_ping")
+        net.rpc(10, "rpc_ping")
+        net.rpc(10, "rpc_get_successor")
+        assert net.messages["rpc_ping"] == 2
+        assert net.total_messages() == 3
+
+    def test_rpc_to_dead_raises(self):
+        net = SimNetwork()
+        node = ChordNode(10, SPACE, net)
+        node.create()
+        node.fail()
+        with pytest.raises(ProtocolError):
+            net.rpc(10, "rpc_ping")
+
+    def test_rpc_to_unknown_raises(self):
+        net = SimNetwork()
+        with pytest.raises(ProtocolError):
+            net.rpc(42, "rpc_ping")
+
+    def test_drop_once_fault_injection(self):
+        net = SimNetwork()
+        ChordNode(10, SPACE, net).create()
+        net.drop_next_rpc_to(10)
+        with pytest.raises(ProtocolError):
+            net.rpc(10, "rpc_ping")
+        # transient: the next call succeeds
+        assert net.rpc(10, "rpc_ping") is True

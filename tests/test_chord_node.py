@@ -1,0 +1,159 @@
+"""Tests of individual ChordNode protocol behaviour."""
+
+import pytest
+
+from repro.chord.network import SimNetwork
+from repro.chord.node import ChordNode
+from repro.chord.ring import ChordRing
+from repro.errors import ProtocolError
+from repro.hashspace.idspace import IdSpace
+
+SPACE = IdSpace(16)
+
+
+def two_node_ring():
+    net = SimNetwork()
+    a = ChordNode(100, SPACE, net)
+    a.create()
+    b = ChordNode(40_000, SPACE, net)
+    b.join(100)
+    for _ in range(3):
+        a.maintenance_cycle()
+        b.maintenance_cycle()
+    return net, a, b
+
+
+class TestCreateAndJoin:
+    def test_single_node_ring(self):
+        net = SimNetwork()
+        node = ChordNode(5, SPACE, net)
+        node.create()
+        assert node.successor == 5
+        assert node.find_successor(12345) == (5, 0)
+
+    def test_two_node_pointers(self):
+        _, a, b = two_node_ring()
+        assert a.successor == b.id
+        assert b.successor == a.id
+        assert a.predecessor == b.id
+        assert b.predecessor == a.id
+
+    def test_join_transfers_keys(self):
+        net = SimNetwork()
+        a = ChordNode(100, SPACE, net)
+        a.create()
+        # all keys initially belong to the only node
+        for key in (50, 200, 30_000):
+            a.put(key, f"v{key}")
+        b = ChordNode(40_000, SPACE, net)
+        b.join(100)
+        for _ in range(2):
+            a.maintenance_cycle()
+            b.maintenance_cycle()
+        # b is responsible for (100, 40000]: keys 200 and 30000
+        assert b.store.primary_keys == {200, 30_000}
+        assert a.store.primary_keys == {50}
+
+
+class TestResponsibility:
+    def test_find_successor_matches_oracle(self):
+        ring = ChordRing.create(25, space=SPACE, seed=1)
+        node = ring.network.node(ring.network.alive_ids()[0])
+        for key in range(0, SPACE.size, 1500):
+            holder, _ = node.find_successor(key)
+            assert holder == ring.ground_truth_holder(key)
+
+    def test_hop_count_logarithmic(self):
+        ring = ChordRing.create(64, space=SPACE, seed=2)
+        hops = ring.lookup_hops_sample(200)
+        # O(log n): 64 nodes -> log2 = 6; allow slack
+        assert hops.mean() < 6
+        assert hops.max() <= 12
+
+
+class TestDataPlane:
+    def test_put_get_roundtrip(self):
+        ring = ChordRing.create(10, space=SPACE, seed=3)
+        holder, _ = ring.put(1234, "hello")
+        value, _ = ring.get(1234)
+        assert value == "hello"
+        assert holder == ring.ground_truth_holder(1234)
+
+    def test_get_missing_raises(self):
+        _, a, b = two_node_ring()
+        with pytest.raises(ProtocolError):
+            a.get(777)
+
+
+class TestFailureDetection:
+    def test_check_predecessor_clears_dead(self):
+        _, a, b = two_node_ring()
+        b.fail()
+        a.check_predecessor()
+        assert a.predecessor is None
+
+    def test_stabilize_skips_dead_successor(self):
+        ring = ChordRing.create(12, space=SPACE, seed=4)
+        ids = ring.network.alive_ids()
+        victim = ids[3]
+        ring.fail_node(victim)
+        for _ in range(4):
+            ring.maintenance_round()
+        ring.verify()
+        for ident in ring.network.alive_ids():
+            assert ring.network.node(ident).successor != victim
+
+    def test_lookup_routes_around_dead_finger(self):
+        ring = ChordRing.create(20, space=SPACE, seed=5)
+        node = ring.network.node(ring.network.alive_ids()[0])
+        victim = node.fingers.known_ids()
+        victim = next(iter(victim - {node.id}))
+        ring.fail_node(victim)
+        # no maintenance: fingers are stale, lookup must still succeed
+        for key in range(0, SPACE.size, 4000):
+            holder, _ = node.find_successor(key)
+            assert ring.network.is_alive(holder)
+
+
+class TestGracefulLeave:
+    def test_leave_hands_over_data(self):
+        ring = ChordRing.create(10, space=SPACE, seed=6)
+        keys = list(range(0, SPACE.size, 700))
+        for key in keys:
+            ring.put(key, key)
+        victim = ring.network.alive_ids()[4]
+        ring.leave_node(victim)
+        for _ in range(3):
+            ring.maintenance_round()
+        ring.verify()
+        for key in keys:
+            value, _ = ring.get(key)
+            assert value == key
+
+    def test_leave_repairs_predecessor_successor_list(self):
+        _, a, b = two_node_ring()
+        net = a.network
+        c = ChordNode(20_000, SPACE, net)
+        c.join(a.id)
+        for node in (a, b, c):
+            node.maintenance_cycle()
+        # c sits between a (100) and b (40000); when c leaves, a's
+        # successor list must immediately point at b
+        c.leave()
+        assert a.successor == b.id
+
+
+class TestPredecessorList:
+    def test_predecessor_list_populated(self):
+        ring = ChordRing.create(15, space=SPACE, seed=7)
+        for _ in range(3):
+            ring.maintenance_round()
+        ids = ring.network.alive_ids()
+        node = ring.network.node(ids[5])
+        assert len(node.predecessor_list) >= 2
+        assert node.predecessor_list[0] == node.predecessor
+        # entries walk counter-clockwise
+        sorted_ids = ids
+        pos = sorted_ids.index(node.id)
+        expected_first = sorted_ids[pos - 1]
+        assert node.predecessor == expected_first

@@ -1,0 +1,83 @@
+"""Property-based tests of the protocol stack under random churn."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chord.ring import ChordRing
+from repro.hashspace.idspace import IdSpace
+
+SPACE = IdSpace(20)
+
+churn_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["fail", "leave", "join", "noop"]),
+        st.integers(0, 2**31 - 1),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 2**31 - 1), ops=churn_ops)
+def test_ring_recovers_from_any_churn_schedule(seed, ops):
+    """Any interleaving of crashes, graceful leaves and joins — with
+    maintenance rounds between — leaves a consistent ring with all data
+    reachable (churn bursts stay below the replication factor)."""
+    ring = ChordRing.create(14, space=SPACE, seed=seed, n_successors=5)
+    rng = np.random.default_rng(seed)
+    keys = [int(k) for k in rng.integers(0, SPACE.size, size=40)]
+    for key in keys:
+        ring.put(key, key * 3)
+    for _ in range(2):
+        ring.maintenance_round()  # replicate before any failures
+
+    for kind, op_seed in ops:
+        op_rng = np.random.default_rng(op_seed)
+        alive = ring.network.alive_ids()
+        if kind == "fail" and len(alive) > 6:
+            ring.fail_node(alive[int(op_rng.integers(0, len(alive)))])
+        elif kind == "leave" and len(alive) > 6:
+            ring.leave_node(alive[int(op_rng.integers(0, len(alive)))])
+        elif kind == "join":
+            ring.join_node()
+        for _ in range(5):
+            ring.maintenance_round()
+
+    ring.verify()
+    for key in keys:
+        value, _ = ring.get(key)
+        assert value == key * 3
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), n_nodes=st.integers(3, 40))
+def test_build_is_correct_at_any_size(seed, n_nodes):
+    """Fresh rings of any size verify immediately and route correctly."""
+    ring = ChordRing.create(n_nodes, space=SPACE, seed=seed)
+    ring.verify()
+    rng = np.random.default_rng(seed)
+    for _ in range(10):
+        key = int(rng.integers(0, SPACE.size))
+        node = ring.network.node(ring.random_alive_id())
+        holder, _ = node.find_successor(key)
+        assert holder == ring.ground_truth_holder(key)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_lookup_modes_agree(seed):
+    ring = ChordRing.create(20, space=SPACE, seed=seed)
+    rng = np.random.default_rng(seed)
+    node = ring.network.node(ring.network.alive_ids()[0])
+    for _ in range(10):
+        key = int(rng.integers(0, SPACE.size))
+        iterative, _ = node.find_successor(key)
+        recursive, _ = node.find_successor_recursive(key)
+        assert iterative == recursive

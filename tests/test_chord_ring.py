@@ -1,0 +1,121 @@
+"""Integration tests of whole-ring behaviour: churn, replication, recovery."""
+
+import numpy as np
+import pytest
+
+from repro.chord.ring import ChordRing
+from repro.errors import RingError
+from repro.hashspace.idspace import SPACE_160, IdSpace
+
+SPACE = IdSpace(24)
+
+
+class TestConstruction:
+    def test_create_and_verify(self):
+        ring = ChordRing.create(30, space=SPACE, seed=0)
+        ring.verify()
+        assert len(ring.network) == 30
+
+    def test_create_with_sha1_space(self):
+        ring = ChordRing.create(10, seed=0)
+        ring.verify()
+        assert ring.space is SPACE_160
+
+    def test_converge_reports_rounds(self):
+        ring = ChordRing.create(20, space=SPACE, seed=1, converge=False)
+        rounds = ring.converge()
+        assert rounds >= 1
+        ring.verify()
+
+
+class TestVerification:
+    def test_verify_catches_broken_cycle(self):
+        ring = ChordRing.create(10, space=SPACE, seed=2)
+        ids = ring.network.alive_ids()
+        node = ring.network.node(ids[0])
+        node.successor_list = [node.id]  # sabotage
+        with pytest.raises(RingError):
+            ring.verify()
+
+    def test_ground_truth_holder(self):
+        ring = ChordRing.create(10, space=SPACE, seed=3)
+        ids = ring.network.alive_ids()
+        assert ring.ground_truth_holder(ids[0]) == ids[0]
+        assert ring.ground_truth_holder((ids[0] + 1) % SPACE.size) == ids[1]
+        # wrap: a key above the largest id belongs to the smallest
+        assert ring.ground_truth_holder(ids[-1] + 1) == ids[0]
+
+
+class TestReplicationAndRecovery:
+    def _loaded_ring(self, n_nodes=25, n_keys=150, seed=4):
+        ring = ChordRing.create(n_nodes, space=SPACE, seed=seed)
+        rng = np.random.default_rng(seed)
+        keys = [int(k) for k in rng.integers(0, SPACE.size, size=n_keys)]
+        for key in keys:
+            ring.put(key, f"value-{key}")
+        for _ in range(2):
+            ring.maintenance_round()  # build replicas
+        return ring, keys
+
+    def test_data_survives_r_minus_1_failures(self):
+        ring, keys = self._loaded_ring()
+        # kill 4 (< n_successors = 5) consecutive nodes: worst case
+        ids = ring.network.alive_ids()
+        for victim in ids[3:7]:
+            ring.fail_node(victim)
+        for _ in range(8):
+            ring.maintenance_round()
+        ring.verify()
+        for key in keys:
+            value, _ = ring.get(key)
+            assert value == f"value-{key}"
+
+    def test_replica_counts_positive(self):
+        ring, _ = self._loaded_ring()
+        replica_total = sum(
+            ring.network.node(i).store.replica_count
+            for i in ring.network.alive_ids()
+        )
+        # every primary is replicated to ~n_successors backups
+        assert replica_total >= ring.total_primaries() * 2
+
+    def test_join_after_load_acquires_range(self):
+        ring, keys = self._loaded_ring()
+        before = ring.total_primaries()
+        node = ring.join_node()
+        for _ in range(3):
+            ring.maintenance_round()
+        ring.verify()
+        assert ring.total_primaries() == before
+        # the joiner is responsible for everything between pred and self
+        for key in keys:
+            assert ring.get(key)[0] == f"value-{key}"
+
+    def test_mixed_churn_sequence(self):
+        ring, keys = self._loaded_ring(n_nodes=30, seed=8)
+        rng = np.random.default_rng(8)
+        for step in range(6):
+            if step % 2 == 0:
+                victim = ring.network.alive_ids()[
+                    int(rng.integers(0, len(ring.network)))
+                ]
+                if step % 4 == 0:
+                    ring.fail_node(victim)
+                else:
+                    ring.leave_node(victim)
+            else:
+                ring.join_node()
+            for _ in range(4):
+                ring.maintenance_round()
+        ring.verify()
+        for key in keys:
+            assert ring.get(key)[0] == f"value-{key}"
+
+
+class TestMessageAccounting:
+    def test_maintenance_costs_messages(self):
+        ring = ChordRing.create(10, space=SPACE, seed=9)
+        ring.network.reset_messages()
+        ring.maintenance_round()
+        assert ring.network.total_messages() > 0
+        assert ring.network.messages["rpc_notify"] >= 10

@@ -1,0 +1,85 @@
+"""Tests for protocol ring statistics and the recursive lookup mode."""
+
+import numpy as np
+import pytest
+
+from repro.chord.ring import ChordRing
+from repro.chord.stats import collect_ring_stats, finger_accuracy
+from repro.hashspace.idspace import IdSpace
+
+SPACE = IdSpace(24)
+
+
+@pytest.fixture(scope="module")
+def loaded_ring():
+    ring = ChordRing.create(40, space=SPACE, seed=3)
+    rng = np.random.default_rng(3)
+    for _ in range(200):
+        ring.put(int(rng.integers(0, SPACE.size)), "v")
+    for _ in range(2):
+        ring.maintenance_round()
+    return ring
+
+
+class TestFingerAccuracy:
+    def test_converged_ring_is_perfect(self, loaded_ring):
+        fill, accuracy = finger_accuracy(loaded_ring)
+        assert fill == 1.0
+        assert accuracy == 1.0
+
+    def test_failures_reduce_accuracy(self):
+        ring = ChordRing.create(30, space=SPACE, seed=4)
+        for victim in ring.network.alive_ids()[2:8]:
+            ring.fail_node(victim)
+        # before any repair, some fingers point at dead/now-wrong targets
+        _, accuracy = finger_accuracy(ring)
+        assert accuracy < 1.0
+
+
+class TestRingStats:
+    def test_snapshot_fields(self, loaded_ring):
+        stats = collect_ring_stats(loaded_ring, n_lookups=50)
+        assert stats.n_alive == 40
+        assert stats.successor_list_fill == 1.0
+        # r=5 backups per primary (pop-keeps-replica inflates slightly)
+        assert 4.5 <= stats.replication_factor <= 6.5
+        assert stats.load.total == 200
+        assert stats.mean_lookup_hops < np.log2(40)
+        assert stats.messages_total > 0
+        assert "rpc_notify" in stats.messages_by_method
+
+    def test_as_dict_flattens(self, loaded_ring):
+        d = collect_ring_stats(loaded_ring, n_lookups=10).as_dict()
+        assert "load_median" in d
+        assert "finger_accuracy" in d
+
+
+class TestRecursiveLookup:
+    def test_agrees_with_iterative(self, loaded_ring):
+        rng = np.random.default_rng(9)
+        node = loaded_ring.network.node(loaded_ring.network.alive_ids()[0])
+        for _ in range(50):
+            key = int(rng.integers(0, SPACE.size))
+            it_holder, _ = node.find_successor(key)
+            rec_holder, _ = node.find_successor_recursive(key)
+            assert it_holder == rec_holder
+
+    def test_hops_logarithmic(self, loaded_ring):
+        rng = np.random.default_rng(10)
+        node = loaded_ring.network.node(loaded_ring.network.alive_ids()[0])
+        hops = [
+            node.find_successor_recursive(int(rng.integers(0, SPACE.size)))[1]
+            for _ in range(100)
+        ]
+        assert float(np.mean(hops)) < np.log2(40)
+
+    def test_survives_dead_finger(self):
+        ring = ChordRing.create(25, space=SPACE, seed=5)
+        node = ring.network.node(ring.network.alive_ids()[0])
+        victim = next(iter(node.fingers.known_ids() - {node.id}))
+        ring.fail_node(victim)
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            key = int(rng.integers(0, SPACE.size))
+            holder, _ = node.find_successor_recursive(key)
+            assert ring.network.is_alive(holder)

@@ -1,0 +1,101 @@
+"""Tests of primary/replica storage and the active-backup semantics."""
+
+import pytest
+
+from repro.chord.storage import NodeStore
+from repro.errors import IdSpaceError
+from repro.hashspace.idspace import IdSpace
+
+SPACE = IdSpace(8)
+
+
+@pytest.fixture
+def store():
+    return NodeStore(SPACE)
+
+
+class TestPrimary:
+    def test_put_get(self, store):
+        store.put_primary(10, "x")
+        assert store.get(10) == "x"
+        assert store.has(10)
+        assert store.primary_count == 1
+
+    def test_put_validates_key(self, store):
+        with pytest.raises(IdSpaceError):
+            store.put_primary(300, "x")
+
+    def test_remove_primary(self, store):
+        store.put_primary(10, "x")
+        assert store.remove_primary(10) == "x"
+        assert not store.has(10)
+
+    def test_pop_primary_range_keeps_replicas(self, store):
+        for key in (10, 20, 30):
+            store.put_primary(key, f"v{key}")
+        moved = store.pop_primary_range(5, 20)  # (5, 20] -> keys 10, 20
+        assert set(moved) == {10, 20}
+        assert store.primary_keys == {30}
+        # handed-off items stay as replicas (we are their first backup)
+        assert store.get(10) == "v10"
+        assert store.replica_count == 2
+
+    def test_pop_wrapping_range(self, store):
+        for key in (250, 3, 100):
+            store.put_primary(key, key)
+        moved = store.pop_primary_range(200, 5)
+        assert set(moved) == {250, 3}
+
+
+class TestReplicas:
+    def test_accept_does_not_override_primary(self, store):
+        store.put_primary(10, "primary")
+        store.accept_replicas({10: "stale", 20: "r"})
+        assert store.get(10) == "primary"
+        assert store.get(20) == "r"
+        assert store.replica_count == 1
+
+    def test_promote_range(self, store):
+        store.accept_replicas({10: "a", 20: "b", 200: "c"})
+        promoted = store.promote_range(5, 25)
+        assert promoted == 2
+        assert store.primary_keys == {10, 20}
+        assert store.replica_count == 1
+
+    def test_promote_nothing(self, store):
+        assert store.promote_range(0, 100) == 0
+
+    def test_primary_wins_on_put(self, store):
+        store.accept_replicas({10: "old"})
+        store.put_primary(10, "new")
+        assert store.get(10) == "new"
+        assert store.replica_count == 0
+
+
+class TestSyncTombstones:
+    def test_sync_removes_completed_items(self, store):
+        store.accept_replicas({10: "a", 20: "b"})
+        # origin responsible for (5, 25] now only holds key 20
+        store.sync_replica_range(5, 25, {20: "b"})
+        assert not store.has(10)
+        assert store.get(20) == "b"
+
+    def test_sync_leaves_other_ranges_alone(self, store):
+        store.accept_replicas({100: "other"})
+        store.sync_replica_range(5, 25, {})
+        assert store.get(100) == "other"
+
+    def test_sync_adds_new_items(self, store):
+        store.sync_replica_range(5, 25, {10: "new"})
+        assert store.get(10) == "new"
+
+    def test_drop_replicas_outside(self, store):
+        store.accept_replicas({1: "a", 2: "b", 3: "c"})
+        store.drop_replicas_outside([2])
+        assert store.replica_count == 1
+        assert store.get(2) == "b"
+
+    def test_all_keys(self, store):
+        store.put_primary(1, "p")
+        store.accept_replicas({2: "r"})
+        assert store.all_keys() == {1, 2}

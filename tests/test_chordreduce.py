@@ -1,0 +1,88 @@
+"""Tests of the ChordReduce MapReduce layer."""
+
+import pytest
+
+from repro.apps.chordreduce import ChordReduce
+from repro.apps.wordcount import tokenize, word_count
+from repro.errors import SimulationError
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello, World! it's 42") == [
+            "hello",
+            "world",
+            "it's",
+            "42",
+        ]
+
+    def test_empty(self):
+        assert tokenize("...") == []
+
+
+class TestWordCount:
+    DOCS = [
+        "chord chord sybil",
+        "sybil balance",
+        "balance balance chord",
+    ]
+
+    def test_counts_correct(self):
+        counts, report = word_count(self.DOCS, n_nodes=10, seed=0)
+        assert counts == {"chord": 3, "sybil": 2, "balance": 3}
+        assert report.n_map_tasks == 3
+        assert report.n_reduce_tasks == 3
+        assert report.map_ticks >= 1
+
+    def test_results_invariant_across_strategies(self):
+        reference, _ = word_count(self.DOCS, n_nodes=10, seed=0)
+        for strategy in ("random_injection", "invitation"):
+            counts, _ = word_count(
+                self.DOCS, n_nodes=10, strategy=strategy, seed=0
+            )
+            assert counts == reference
+
+    def test_balancing_speeds_up_map_phase(self):
+        docs = [f"word{i % 7} filler text here" for i in range(200)]
+        _, plain = word_count(docs, n_nodes=25, strategy="none", seed=2)
+        _, balanced = word_count(
+            docs, n_nodes=25, strategy="random_injection", seed=2
+        )
+        assert balanced.map_ticks < plain.map_ticks
+
+
+class TestChordReduceGeneric:
+    def test_custom_job(self):
+        """Sum of squares grouped by parity."""
+        job = ChordReduce(
+            map_fn=lambda n: [(n % 2, n * n)],
+            reduce_fn=lambda _k, values: sum(values),
+            n_nodes=8,
+            seed=1,
+        )
+        results, report = job.run(range(10))
+        assert results == {
+            0: sum(n * n for n in range(0, 10, 2)),
+            1: sum(n * n for n in range(1, 10, 2)),
+        }
+        assert report.n_reduce_tasks == 2
+        assert report.total_ticks == report.map_ticks + report.reduce_ticks
+
+    def test_empty_input_rejected(self):
+        job = ChordReduce(
+            map_fn=lambda x: [], reduce_fn=lambda k, v: v, n_nodes=5
+        )
+        with pytest.raises(SimulationError):
+            job.run([])
+
+    def test_map_only_job(self):
+        """A map that emits nothing produces no reduce phase."""
+        job = ChordReduce(
+            map_fn=lambda x: [],
+            reduce_fn=lambda k, v: v,
+            n_nodes=5,
+            seed=1,
+        )
+        results, report = job.run([1, 2, 3])
+        assert results == {}
+        assert report.reduce_ticks == 0

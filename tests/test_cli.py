@@ -1,0 +1,108 @@
+"""Tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.experiment == "table1"
+        assert args.scale is None
+        assert args.jobs == 1
+
+
+class TestListCommand:
+    def test_lists_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig13_14" in out
+
+
+class TestRunCommand:
+    def test_run_fig02_03_with_exports(self, capsys, tmp_path):
+        csv = tmp_path / "out.csv"
+        jsn = tmp_path / "out.json"
+        code = main(
+            [
+                "run",
+                "fig02_03",
+                "--csv",
+                str(csv),
+                "--json",
+                str(jsn),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig02_03" in out
+        assert csv.exists()
+        data = json.loads(jsn.read_text())
+        assert data["experiment_id"] == "fig02_03"
+
+
+class TestSimulateCommand:
+    def test_small_simulation(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--strategy",
+                "random_injection",
+                "--nodes",
+                "50",
+                "--tasks",
+                "1000",
+                "--trials",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean runtime factor" in out
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--strategy", "bogus"])
+
+
+class TestFiguresCommand:
+    def test_writes_svgs(self, capsys, tmp_path):
+        code = main(["figures", "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "fig2_hashed_ring.svg").exists()
+        assert (tmp_path / "fig3_even_ring.svg").exists()
+
+
+class TestProfileCommand:
+    def test_profile_prints_metrics(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--strategy",
+                "random_injection",
+                "--nodes",
+                "60",
+                "--tasks",
+                "1200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "utilization_auc" in out
+        assert "wasted_node_ticks" in out
+
+
+class TestTheoryCommand:
+    def test_theory_table(self, capsys):
+        code = main(["theory", "--nodes", "200", "--tasks", "20000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "median workload" in out
+        assert "baseline runtime factor" in out

@@ -1,0 +1,80 @@
+"""Tests for the §III distribution analysis (exponential / Zipf claims)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.metrics.distribution import (
+    expected_median_ratio,
+    fit_exponential,
+    ks_exponential,
+    zipf_tail_exponent,
+)
+from repro.sim.engine import TickEngine
+
+
+class TestExpectedMedianRatio:
+    def test_is_ln2(self):
+        assert expected_median_ratio() == pytest.approx(math.log(2))
+
+    def test_matches_paper_table1(self):
+        """The paper's 1000n/1e6t row: median 692.3 over mean 1000."""
+        assert 692.3 / 1000 == pytest.approx(expected_median_ratio(), abs=0.01)
+
+
+class TestExponentialFit:
+    def test_fits_true_exponential(self, rng):
+        samples = rng.exponential(scale=50.0, size=20_000)
+        fit = fit_exponential(samples)
+        assert fit.scale == pytest.approx(50.0, rel=0.05)
+        assert fit.ks_statistic < 0.02
+        if fit.p_value is not None:
+            assert fit.p_value > 0.001
+
+    def test_rejects_uniform(self, rng):
+        samples = rng.uniform(0, 100, size=20_000)
+        fit = fit_exponential(samples)
+        assert fit.ks_statistic > 0.1
+
+    def test_zero_samples(self):
+        fit = fit_exponential(np.zeros(10))
+        assert fit.n == 0
+        assert fit.ks_statistic == 1.0
+
+    def test_dht_loads_are_exponential(self):
+        """The core §III claim: hashed DHT workloads fit an exponential."""
+        engine = TickEngine(
+            SimulationConfig(n_nodes=2000, n_tasks=2_000_000, seed=0)
+        )
+        loads = engine.network_loads()
+        fit = fit_exponential(loads)
+        assert fit.scale == pytest.approx(1000.0, rel=0.1)
+        assert fit.ks_statistic < 0.05
+
+
+class TestKs:
+    def test_degenerate(self):
+        stat, p = ks_exponential(np.array([]), 1.0)
+        assert stat == 1.0 and p is None
+
+    def test_bad_scale(self):
+        stat, _ = ks_exponential(np.array([1.0, 2.0]), 0.0)
+        assert stat == 1.0
+
+
+class TestZipfTail:
+    def test_negative_for_heavy_tail(self, rng):
+        samples = rng.exponential(scale=100, size=5000)
+        assert zipf_tail_exponent(samples) < 0
+
+    def test_power_law_slope(self, rng):
+        """rank-size of a true power law has log-log slope ≈ -1/alpha."""
+        alpha = 2.0
+        samples = rng.pareto(alpha, size=200_000) + 1
+        slope = zipf_tail_exponent(samples, tail_fraction=0.01)
+        assert slope == pytest.approx(-1 / alpha, abs=0.15)
+
+    def test_tiny_input(self):
+        assert zipf_tail_exponent(np.array([1.0])) == 0.0

@@ -1,0 +1,171 @@
+"""Tests of the tick engine: termination, accounting, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.sim.engine import TickEngine, run_simulation
+from repro.sim.trials import run_trial
+
+
+class TestBaselineRun:
+    def test_completes_and_conserves(self, small_config):
+        result = run_simulation(small_config)
+        assert result.completed
+        assert result.total_consumed == small_config.n_tasks
+        assert (result.final_loads == 0).all()
+
+    def test_runtime_equals_max_initial_load(self, small_config):
+        """With no strategy and one task/tick, the straggler defines the
+        runtime exactly."""
+        engine = TickEngine(small_config)
+        max_load = int(engine.network_loads().max())
+        result = engine.run()
+        assert result.runtime_ticks == max_load
+
+    def test_ideal_runtime(self, small_config):
+        engine = TickEngine(small_config)
+        assert engine.ideal_ticks == small_config.n_tasks / small_config.n_nodes
+
+    def test_runtime_factor_above_one(self, small_config):
+        result = run_simulation(small_config)
+        assert result.runtime_factor > 1.0
+
+    def test_zero_tasks_finishes_immediately(self):
+        result = run_simulation(SimulationConfig(n_nodes=10, n_tasks=0, seed=1))
+        assert result.completed
+        assert result.runtime_ticks == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_everything(self, small_config):
+        a = run_simulation(small_config)
+        b = run_simulation(small_config)
+        assert a.runtime_ticks == b.runtime_ticks
+        assert a.counters == b.counters
+        assert np.array_equal(a.final_loads, b.final_loads)
+
+    def test_same_seed_same_sybil_run(self, small_config):
+        config = small_config.with_updates(strategy="random_injection")
+        a = run_simulation(config)
+        b = run_simulation(config)
+        assert a.runtime_ticks == b.runtime_ticks
+        assert a.counters == b.counters
+
+    def test_different_seeds_differ(self, small_config):
+        a = run_simulation(small_config)
+        b = run_simulation(small_config.with_updates(seed=123))
+        assert a.runtime_ticks != b.runtime_ticks
+
+    def test_trial_seed_override(self, small_config):
+        seq = np.random.SeedSequence(5)
+        a = run_trial(small_config, seq)
+        b = run_trial(small_config, np.random.SeedSequence(5))
+        assert a.runtime_ticks == b.runtime_ticks
+
+
+class TestStepApi:
+    def test_step_consumes(self, small_config):
+        engine = TickEngine(small_config)
+        busy = int((engine.network_loads() > 0).sum())
+        consumed = engine.step()
+        assert consumed == busy  # every node with work completes one task
+        assert engine.tick == 1
+
+    def test_step_after_finished_is_noop(self, tiny_config):
+        engine = TickEngine(tiny_config)
+        engine.run()
+        tick = engine.tick
+        assert engine.step() == 0
+        assert engine.tick == tick
+
+    def test_remaining_decreases_monotonically(self, tiny_config):
+        engine = TickEngine(tiny_config)
+        prev = engine.remaining
+        while not engine.finished:
+            engine.step()
+            assert engine.remaining <= prev
+            prev = engine.remaining
+
+
+class TestMaxTicks:
+    def test_abort_flagged(self):
+        config = SimulationConfig(
+            n_nodes=10, n_tasks=10_000, max_ticks=5, seed=1
+        )
+        result = run_simulation(config)
+        assert not result.completed
+        assert result.runtime_ticks == 5
+        assert result.total_consumed < config.n_tasks
+
+
+class TestSnapshots:
+    def test_requested_ticks_recorded(self, small_config):
+        config = small_config.with_updates(snapshot_ticks=(0, 5, 35))
+        engine = TickEngine(config)
+        result = engine.run()
+        assert [h.tick for h in result.snapshots] == [0, 5, 35]
+        # tick-0 snapshot holds the full workload
+        assert result.snapshots[0].stats.total == config.n_tasks
+
+    def test_snapshot_loads_raw(self, small_config):
+        config = small_config.with_updates(snapshot_ticks=(0,))
+        engine = TickEngine(config)
+        engine.run()
+        loads = engine.snapshot_loads()[0]
+        assert loads.sum() == config.n_tasks
+
+    def test_missing_snapshot_raises(self, small_config):
+        result = run_simulation(
+            small_config.with_updates(snapshot_ticks=(0,))
+        )
+        with pytest.raises(KeyError):
+            result.snapshot_at(99)
+
+
+class TestTimeseries:
+    def test_series_collected(self, tiny_config):
+        config = tiny_config.with_updates(collect_timeseries=True)
+        result = run_simulation(config)
+        series = result.timeseries
+        assert len(series) == result.runtime_ticks
+        arrays = series.as_arrays()
+        assert int(arrays["consumed"].sum()) == config.n_tasks
+        assert arrays["remaining"][-1] == 0
+        # utilization starts near 1 (most nodes busy) and decays
+        util = series.utilization()
+        assert util[0] > 0.7
+        assert util[-1] <= util[0]
+
+    def test_disabled_by_default(self, tiny_config):
+        assert run_simulation(tiny_config).timeseries is None
+
+
+class TestHeterogeneous:
+    def test_strength_consumption_uses_capacity(self):
+        config = SimulationConfig(
+            n_nodes=50,
+            n_tasks=5000,
+            heterogeneous=True,
+            work_measurement="strength",
+            seed=3,
+        )
+        engine = TickEngine(config)
+        capacity = engine.owners.initial_capacity()
+        assert capacity > 50  # strengths range 1..5
+        assert engine.ideal_ticks == config.n_tasks / capacity
+        result = engine.run()
+        assert result.completed
+        assert result.total_consumed == config.n_tasks
+
+    def test_first_tick_consumes_at_most_capacity(self):
+        config = SimulationConfig(
+            n_nodes=50,
+            n_tasks=50_000,
+            heterogeneous=True,
+            work_measurement="strength",
+            seed=3,
+        )
+        engine = TickEngine(config)
+        consumed = engine.step()
+        assert consumed <= engine.owners.initial_capacity()

@@ -1,0 +1,87 @@
+"""Tests of the engine's churn phase (induced churn strategy, §IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.sim.engine import TickEngine, run_simulation
+
+
+@pytest.fixture
+def churn_config():
+    return SimulationConfig(
+        strategy="churn",
+        n_nodes=100,
+        n_tasks=10_000,
+        churn_rate=0.02,
+        seed=9,
+    )
+
+
+class TestChurnMechanics:
+    def test_joins_and_leaves_happen(self, churn_config):
+        result = run_simulation(churn_config)
+        assert result.counters["churn_leaves"] > 0
+        assert result.counters["churn_joins"] > 0
+
+    def test_conservation_under_churn(self, churn_config):
+        result = run_simulation(churn_config)
+        assert result.completed
+        assert result.total_consumed == churn_config.n_tasks
+
+    def test_network_size_stays_bounded(self, churn_config):
+        """Equal join/leave rates on equal pools keep the size stable."""
+        engine = TickEngine(churn_config)
+        sizes = []
+        while not engine.finished and engine.tick < 300:
+            engine.step()
+            sizes.append(engine.owners.n_in_network)
+        sizes = np.asarray(sizes)
+        assert sizes.min() > 50
+        assert sizes.max() < 150
+
+    def test_pool_plus_network_constant(self, churn_config):
+        engine = TickEngine(churn_config)
+        total = engine.owners.n_total
+        for _ in range(100):
+            if engine.finished:
+                break
+            engine.step()
+            assert (
+                engine.owners.n_in_network
+                + engine.owners.waiting_indices.size
+                == total
+            )
+
+    def test_ring_invariants_hold_during_churn(self, churn_config):
+        engine = TickEngine(churn_config)
+        for _ in range(60):
+            if engine.finished:
+                break
+            engine.step()
+            engine.state.verify_invariants()
+            engine.owners.validate()
+
+
+class TestChurnSpeedup:
+    """The paper's core §VI-A result at test scale."""
+
+    def test_churn_beats_baseline(self):
+        base = SimulationConfig(n_nodes=200, n_tasks=40_000, seed=21)
+        churned = base.with_updates(strategy="churn", churn_rate=0.01)
+        factor_base = run_simulation(base).runtime_factor
+        factor_churn = run_simulation(churned).runtime_factor
+        assert factor_churn < factor_base
+
+    def test_more_churn_helps_more(self):
+        base = SimulationConfig(
+            strategy="churn", n_nodes=150, n_tasks=30_000, seed=2
+        )
+        low = run_simulation(base.with_updates(churn_rate=0.001))
+        high = run_simulation(base.with_updates(churn_rate=0.01))
+        assert high.runtime_factor < low.runtime_factor
+
+    def test_zero_churn_rate_warns_for_churn_strategy(self):
+        config = SimulationConfig(strategy="churn", n_nodes=30, n_tasks=300)
+        with pytest.warns(UserWarning):
+            TickEngine(config)

@@ -1,0 +1,77 @@
+"""Tests for the shared comparison-figure machinery."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments.figures import (
+    SNAPSHOT_TICKS,
+    comparison_figure,
+    paired_histograms,
+    run_with_snapshots,
+)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return SimulationConfig(n_nodes=150, n_tasks=7500, seed=8)
+
+
+class TestRunWithSnapshots:
+    def test_snapshot_ticks_captured(self, base_config):
+        run = run_with_snapshots("base", base_config, ticks=(0, 3, 7))
+        assert set(run.loads_at) == {0, 3, 7}
+        assert run.loads_at[0].sum() == base_config.n_tasks
+        assert run.runtime_factor > 1.0
+
+    def test_default_ticks_are_papers(self):
+        assert SNAPSHOT_TICKS == (0, 5, 35)
+
+    def test_label_carried(self, base_config):
+        run = run_with_snapshots("my-label", base_config, ticks=(0,))
+        assert run.label == "my-label"
+
+
+class TestPairedHistograms:
+    def test_shared_edges(self, base_config):
+        a = run_with_snapshots("a", base_config, ticks=(0, 5))
+        b = run_with_snapshots(
+            "b",
+            base_config.with_updates(strategy="random_injection"),
+            ticks=(0, 5),
+        )
+        ha, hb = paired_histograms(a, b, tick=5)
+        assert np.array_equal(ha.edges, hb.edges)
+        assert ha.label == "a" and hb.label == "b"
+        assert ha.n_nodes == 150
+
+    def test_same_seed_identical_at_tick0(self, base_config):
+        a = run_with_snapshots("a", base_config, ticks=(0,))
+        b = run_with_snapshots(
+            "b",
+            base_config.with_updates(strategy="invitation"),
+            ticks=(0,),
+        )
+        ha, hb = paired_histograms(a, b, tick=0)
+        assert np.array_equal(ha.counts, hb.counts)
+
+
+class TestComparisonFigure:
+    def test_structure(self, base_config):
+        result = comparison_figure(
+            "test_fig",
+            "test",
+            base_config.with_updates(strategy="random_injection"),
+            base_config,
+            "inj",
+            "none",
+            ticks=(0, 5),
+            focus_ticks=(5,),
+        )
+        assert result.experiment_id == "test_fig"
+        # rows: 2 networks at 1 focus tick + 2 end rows
+        assert len(result.rows) == 4
+        assert set(result.data["histograms"]) == {0, 5}
+        runs = result.data["runs"]
+        assert set(runs) == {"inj", "none"}
+        assert runs["inj"].runtime_factor < runs["none"].runtime_factor

@@ -1,0 +1,84 @@
+"""Tests for SHA-1 key generation and the uniform fast paths."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.errors import IdSpaceError
+from repro.hashspace.hashing import (
+    key_for,
+    sha1_id,
+    sha1_ids,
+    uniform_ids,
+    uniform_ids_array,
+)
+from repro.hashspace.idspace import SPACE_64, SPACE_160, IdSpace
+
+
+class TestSha1:
+    def test_matches_hashlib(self):
+        expected = int.from_bytes(hashlib.sha1(b"chord").digest(), "big")
+        assert sha1_id(b"chord", SPACE_160) == expected
+
+    def test_str_and_bytes_agree(self):
+        assert sha1_id("node-1", SPACE_160) == sha1_id(b"node-1", SPACE_160)
+
+    def test_reduction_into_narrow_space(self):
+        space = IdSpace(16)
+        value = sha1_id("anything", space)
+        assert 0 <= value < 2**16
+
+    def test_key_for_deterministic(self):
+        assert key_for("file.txt", SPACE_160) == key_for("file.txt", SPACE_160)
+        assert key_for("file.txt", SPACE_160) != key_for("file2.txt", SPACE_160)
+
+
+class TestSha1Ids:
+    def test_count_and_range(self, rng):
+        ids = sha1_ids(50, SPACE_160, rng)
+        assert len(ids) == 50
+        assert all(0 <= i < 2**160 for i in ids)
+
+    def test_negative_count_raises(self, rng):
+        with pytest.raises(IdSpaceError):
+            sha1_ids(-1, SPACE_160, rng)
+
+    def test_seeded_reproducibility(self):
+        a = sha1_ids(10, SPACE_160, np.random.default_rng(3))
+        b = sha1_ids(10, SPACE_160, np.random.default_rng(3))
+        assert a == b
+
+
+class TestUniformIds:
+    def test_list_version_range(self, rng):
+        ids = uniform_ids(100, IdSpace(12), rng)
+        assert all(0 <= i < 2**12 for i in ids)
+
+    def test_array_version_dtype(self, rng):
+        arr = uniform_ids_array(1000, SPACE_64, rng)
+        assert arr.dtype == np.uint64
+        assert arr.shape == (1000,)
+
+    def test_array_version_covers_high_bits(self, rng):
+        arr = uniform_ids_array(2000, SPACE_64, rng)
+        assert (arr > np.uint64(2**62)).any()
+
+    def test_array_narrow_space(self, rng):
+        arr = uniform_ids_array(5000, IdSpace(10), rng)
+        assert int(arr.max()) < 1024
+
+    def test_array_rejects_wide_space(self, rng):
+        with pytest.raises(IdSpaceError):
+            uniform_ids_array(1, SPACE_160, rng)
+
+    def test_negative_count(self, rng):
+        with pytest.raises(IdSpaceError):
+            uniform_ids_array(-5, SPACE_64, rng)
+
+    def test_uniformity_rough(self):
+        """Mean of many uniform draws sits near the midpoint of the space."""
+        rng = np.random.default_rng(0)
+        arr = uniform_ids_array(200_000, IdSpace(32), rng).astype(np.float64)
+        mid = 2**31
+        assert abs(arr.mean() - mid) < 0.02 * 2**32

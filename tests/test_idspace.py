@@ -1,0 +1,170 @@
+"""Unit tests for the circular identifier space arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IdSpaceError
+from repro.hashspace.idspace import SPACE_64, SPACE_160, IdSpace
+
+
+class TestConstruction:
+    def test_size_and_max(self, space8):
+        assert space8.size == 256
+        assert space8.max_id == 255
+
+    def test_sha1_space(self):
+        assert SPACE_160.bits == 160
+        assert SPACE_160.size == 2**160
+
+    def test_invalid_bits(self):
+        with pytest.raises(IdSpaceError):
+            IdSpace(0)
+        with pytest.raises(IdSpaceError):
+            IdSpace(-3)
+
+    def test_frozen(self, space8):
+        with pytest.raises(AttributeError):
+            space8.bits = 9
+
+
+class TestValidation:
+    def test_contains(self, space8):
+        assert space8.contains(0)
+        assert space8.contains(255)
+        assert not space8.contains(256)
+        assert not space8.contains(-1)
+
+    def test_validate_passthrough(self, space8):
+        assert space8.validate(17) == 17
+
+    def test_validate_raises(self, space8):
+        with pytest.raises(IdSpaceError):
+            space8.validate(256)
+
+    def test_wrap(self, space8):
+        assert space8.wrap(256) == 0
+        assert space8.wrap(257) == 1
+        assert space8.wrap(255) == 255
+
+
+class TestArithmetic:
+    def test_distance_forward(self, space8):
+        assert space8.distance(10, 20) == 10
+
+    def test_distance_wraps(self, space8):
+        assert space8.distance(250, 5) == 11
+
+    def test_distance_zero(self, space8):
+        assert space8.distance(42, 42) == 0
+
+    def test_add(self, space8):
+        assert space8.add(250, 10) == 4
+        assert space8.add(5, -10) == 251
+
+    def test_midpoint_simple(self, space8):
+        assert space8.midpoint(0, 100) == 50
+
+    def test_midpoint_wrapping(self, space8):
+        # arc from 250 to 10 spans 16 ids; midpoint 8 past 250
+        assert space8.midpoint(250, 10) == 2
+
+    def test_midpoint_full_circle_is_antipode(self, space8):
+        assert space8.midpoint(0, 0) == 128
+        assert space8.midpoint(100, 100) == (100 + 128) % 256
+
+
+class TestInInterval:
+    def test_plain_interval(self, space8):
+        assert space8.in_interval(5, 1, 10)
+        assert not space8.in_interval(11, 1, 10)
+
+    def test_default_bounds_open_closed(self, space8):
+        # default is (start, end]
+        assert not space8.in_interval(1, 1, 10)
+        assert space8.in_interval(10, 1, 10)
+
+    def test_closed_left(self, space8):
+        assert space8.in_interval(1, 1, 10, closed_left=True)
+
+    def test_open_right(self, space8):
+        assert not space8.in_interval(10, 1, 10, closed_right=False)
+
+    def test_wrapping_interval(self, space8):
+        assert space8.in_interval(2, 250, 5)
+        assert space8.in_interval(255, 250, 5)
+        assert not space8.in_interval(100, 250, 5)
+
+    def test_full_circle(self, space8):
+        assert space8.in_interval(77, 9, 9)
+        assert space8.in_interval(9, 9, 9)
+
+    def test_degenerate_open_interval(self, space8):
+        assert not space8.in_interval(
+            9, 9, 9, closed_left=False, closed_right=False
+        )
+        assert space8.in_interval(
+            10, 9, 9, closed_left=False, closed_right=False
+        )
+
+
+class TestSampling:
+    def test_random_id_in_range(self, space8, rng):
+        for _ in range(100):
+            assert space8.contains(space8.random_id(rng))
+
+    def test_random_id_160_bits(self, rng):
+        values = [SPACE_160.random_id(rng) for _ in range(20)]
+        assert all(0 <= v < 2**160 for v in values)
+        # wide draws should exercise high bits
+        assert any(v > 2**120 for v in values)
+
+    def test_random_in_interval_strictly_inside(self, space8, rng):
+        for _ in range(200):
+            v = space8.random_in_interval(rng, 10, 20)
+            assert 10 < v < 20
+
+    def test_random_in_interval_wrapping(self, space8, rng):
+        for _ in range(200):
+            v = space8.random_in_interval(rng, 250, 5)
+            assert v > 250 or v < 5
+
+    def test_random_in_interval_empty_raises(self, space8, rng):
+        with pytest.raises(IdSpaceError):
+            space8.random_in_interval(rng, 10, 11)
+
+    def test_random_in_interval_full_circle(self, space8, rng):
+        v = space8.random_in_interval(rng, 7, 7)
+        assert space8.contains(v) and v != 7
+
+
+class TestEvenlySpaced:
+    def test_count_and_spacing(self, space8):
+        ids = space8.evenly_spaced(4)
+        assert ids == [0, 64, 128, 192]
+
+    def test_phase(self, space8):
+        ids = space8.evenly_spaced(4, phase=10)
+        assert ids == [10, 74, 138, 202]
+
+    def test_invalid_count(self, space8):
+        with pytest.raises(IdSpaceError):
+            space8.evenly_spaced(0)
+
+    def test_160_bit(self):
+        ids = SPACE_160.evenly_spaced(10)
+        assert len(ids) == 10
+        gaps = np.diff(ids)
+        assert (gaps >= 2**160 // 10 - 1).all()
+
+
+class TestIterPowers:
+    def test_finger_starts(self, space8):
+        starts = list(space8.iter_powers(250))
+        assert len(starts) == 8
+        assert starts[0] == 251
+        assert starts[1] == 252
+        assert starts[7] == (250 + 128) % 256
+
+    def test_space64_powers(self):
+        starts = list(SPACE_64.iter_powers(0))
+        assert starts[63] == 2**63

@@ -1,0 +1,88 @@
+"""Property-based tests of the identifier-space arithmetic."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashspace.idspace import IdSpace
+
+SPACE = IdSpace(16)
+ids = st.integers(min_value=0, max_value=SPACE.max_id)
+
+
+@given(a=ids, b=ids)
+def test_distance_add_roundtrip(a, b):
+    """Moving ``distance(a, b)`` steps from a always lands on b."""
+    assert SPACE.add(a, SPACE.distance(a, b)) == b
+
+
+@given(a=ids, b=ids)
+def test_distance_antisymmetry(a, b):
+    d_ab = SPACE.distance(a, b)
+    d_ba = SPACE.distance(b, a)
+    if a == b:
+        assert d_ab == d_ba == 0
+    else:
+        assert d_ab + d_ba == SPACE.size
+
+
+@given(x=ids, a=ids, b=ids)
+def test_interval_partition(x, a, b):
+    """Every point is in exactly one of (a, b] and (b, a] (a != b)."""
+    if a == b:
+        return
+    in_first = SPACE.in_interval(x, a, b)
+    in_second = SPACE.in_interval(x, b, a)
+    assert in_first != in_second
+
+
+@given(a=ids, b=ids)
+def test_midpoint_inside_arc(a, b):
+    mid = SPACE.midpoint(a, b)
+    if a == b:
+        assert mid == SPACE.add(a, SPACE.size // 2)
+    else:
+        # midpoint lies in [a, b] clockwise (it can equal a for span 1)
+        assert SPACE.in_interval(mid, a, b, closed_left=True)
+
+
+@given(a=ids, b=ids)
+def test_midpoint_balanced(a, b):
+    """The midpoint splits the arc into two nearly equal halves."""
+    if a == b:
+        return
+    mid = SPACE.midpoint(a, b)
+    left = SPACE.distance(a, mid)
+    right = SPACE.distance(mid, b)
+    assert abs(left - right) <= 1
+    assert left + right == SPACE.distance(a, b)
+
+
+@given(x=ids, a=ids, b=ids)
+def test_interval_bounds_consistency(x, a, b):
+    """Closed bounds only ever add the boundary points."""
+    open_open = SPACE.in_interval(
+        x, a, b, closed_left=False, closed_right=False
+    )
+    closed_both = SPACE.in_interval(
+        x, a, b, closed_left=True, closed_right=True
+    )
+    if open_open:
+        assert closed_both
+    if x not in (a, b):
+        assert open_open == closed_both
+
+
+@settings(max_examples=50)
+@given(a=ids, b=ids, data=st.data())
+def test_random_in_interval_always_inside(a, b, data):
+    span = SPACE.distance(a, b)
+    if span == 0:
+        span = SPACE.size
+    if span <= 1:
+        return
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    v = SPACE.random_in_interval(rng, a, b)
+    assert SPACE.in_interval(v, a, b, closed_right=False)
+    assert v != a

@@ -1,0 +1,83 @@
+"""Tests for wrapping Arc intervals."""
+
+import pytest
+
+from repro.errors import IdSpaceError
+from repro.hashspace.intervals import Arc
+
+
+class TestArcBasics:
+    def test_length_simple(self, space8):
+        assert Arc(space8, 10, 20).length == 10
+
+    def test_length_wrapping(self, space8):
+        assert Arc(space8, 250, 5).length == 11
+
+    def test_full_circle(self, space8):
+        arc = Arc(space8, 42, 42)
+        assert arc.is_full_circle
+        assert arc.length == 256
+        assert arc.fraction() == 1.0
+
+    def test_fraction(self, space8):
+        assert Arc(space8, 0, 128).fraction() == 0.5
+
+    def test_contains_respects_half_open(self, space8):
+        arc = Arc(space8, 10, 20)
+        assert not arc.contains(10)
+        assert arc.contains(20)
+        assert arc.contains(15)
+        assert not arc.contains(25)
+
+    def test_validates_endpoints(self, space8):
+        with pytest.raises(IdSpaceError):
+            Arc(space8, 0, 300)
+
+
+class TestSplit:
+    def test_split_simple(self, space8):
+        first, second = Arc(space8, 10, 20).split_at(15)
+        assert (first.start, first.end) == (10, 15)
+        assert (second.start, second.end) == (15, 20)
+        assert first.length + second.length == 10
+
+    def test_split_wrapping(self, space8):
+        first, second = Arc(space8, 250, 5).split_at(2)
+        assert first.contains(255)
+        assert second.contains(4)
+
+    def test_split_at_boundary_raises(self, space8):
+        arc = Arc(space8, 10, 20)
+        with pytest.raises(IdSpaceError):
+            arc.split_at(10)
+        with pytest.raises(IdSpaceError):
+            arc.split_at(20)
+
+    def test_split_outside_raises(self, space8):
+        with pytest.raises(IdSpaceError):
+            Arc(space8, 10, 20).split_at(30)
+
+    def test_split_full_circle(self, space8):
+        first, second = Arc(space8, 42, 42).split_at(100)
+        assert first.length + second.length == 256
+
+    def test_split_full_circle_at_anchor_raises(self, space8):
+        with pytest.raises(IdSpaceError):
+            Arc(space8, 42, 42).split_at(42)
+
+
+class TestSampleAndMidpoint:
+    def test_sample_strictly_inside(self, space8, rng):
+        arc = Arc(space8, 100, 140)
+        for _ in range(100):
+            v = arc.sample(rng)
+            assert 100 < v < 140
+
+    def test_sample_too_small(self, space8, rng):
+        with pytest.raises(IdSpaceError):
+            Arc(space8, 10, 11).sample(rng)
+
+    def test_midpoint(self, space8):
+        assert Arc(space8, 10, 20).midpoint() == 15
+        # (250, 4] spans 10 ids; halfway is 250 + 5 = 255
+        assert Arc(space8, 250, 4).midpoint() == 255

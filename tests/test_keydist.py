@@ -1,0 +1,128 @@
+"""Tests for the skewed key-distribution generators."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.hashspace.idspace import SPACE_64, IdSpace
+from repro.metrics.balance import gini
+from repro.sim.engine import TickEngine
+from repro.sim.keydist import (
+    clustered_keys,
+    generate_task_keys,
+    zipf_cluster_keys,
+)
+
+
+class TestGenerators:
+    def test_clustered_in_space(self, rng):
+        space = IdSpace(32)
+        keys = clustered_keys(5000, space, rng, n_clusters=4, spread=0.02)
+        assert keys.dtype == np.uint64
+        assert int(keys.max()) < space.size
+
+    def test_clustered_actually_clusters(self, rng):
+        space = IdSpace(32)
+        keys = clustered_keys(20_000, space, rng, n_clusters=4, spread=0.005)
+        # 4 tight clusters: ~all keys within 4 * (6 sigma) of the ring
+        hist, _ = np.histogram(
+            keys.astype(float), bins=100, range=(0, space.size)
+        )
+        occupied = (hist > 0).sum()
+        assert occupied < 50  # uniform would occupy ~100 bins
+
+    def test_zipf_weights_clusters_unevenly(self, rng):
+        space = IdSpace(32)
+        keys = zipf_cluster_keys(
+            20_000, space, rng, n_clusters=8, spread=0.001, exponent=2.0
+        )
+        hist, _ = np.histogram(
+            keys.astype(float), bins=200, range=(0, space.size)
+        )
+        top = np.sort(hist)[::-1]
+        # the hottest region holds far more than 1/8 of the keys
+        assert top[0] > 20_000 / 8 * 1.5
+
+    def test_wrapping_clusters_are_valid(self):
+        """Clusters near 0 must wrap, not clip."""
+        space = IdSpace(16)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            keys = clustered_keys(
+                500, space, rng, n_clusters=1, spread=0.05
+            )
+            assert int(keys.max()) < space.size
+
+
+class TestGenerateTaskKeys:
+    def test_uniform_dispatch(self, rng):
+        config = SimulationConfig(n_nodes=10, n_tasks=100)
+        keys = generate_task_keys(1000, config, SPACE_64, rng)
+        assert keys.size == 1000
+
+    @pytest.mark.parametrize("dist", ["clustered", "zipf"])
+    def test_skewed_dispatch(self, rng, dist):
+        config = SimulationConfig(
+            n_nodes=10, n_tasks=100, key_distribution=dist
+        )
+        keys = generate_task_keys(1000, config, SPACE_64, rng)
+        assert keys.size == 1000
+
+    def test_skew_increases_initial_imbalance(self):
+        def initial_gini(dist: str) -> float:
+            engine = TickEngine(
+                SimulationConfig(
+                    n_nodes=200,
+                    n_tasks=20_000,
+                    key_distribution=dist,
+                    seed=5,
+                )
+            )
+            return gini(engine.network_loads())
+
+        assert initial_gini("zipf") > initial_gini("uniform")
+
+    def test_config_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            SimulationConfig(key_distribution="bimodal")
+        with pytest.raises(ConfigError):
+            SimulationConfig(n_clusters=0)
+        with pytest.raises(ConfigError):
+            SimulationConfig(cluster_spread=0.0)
+        with pytest.raises(ConfigError):
+            SimulationConfig(zipf_exponent=1.0)
+
+
+class TestSkewedRuns:
+    @pytest.mark.parametrize("dist", ["clustered", "zipf"])
+    def test_simulation_completes_and_conserves(self, dist):
+        from repro.sim.engine import run_simulation
+
+        config = SimulationConfig(
+            strategy="random_injection",
+            n_nodes=100,
+            n_tasks=5000,
+            key_distribution=dist,
+            seed=3,
+        )
+        result = run_simulation(config)
+        assert result.completed
+        assert result.total_consumed == 5000
+
+    def test_skew_hurts_baseline_more_than_sybils(self):
+        from repro.sim.engine import run_simulation
+
+        base = SimulationConfig(
+            n_nodes=150, n_tasks=15_000, key_distribution="zipf", seed=9
+        )
+        plain = run_simulation(base).runtime_factor
+        uniform = run_simulation(
+            base.with_updates(key_distribution="uniform")
+        ).runtime_factor
+        rescued = run_simulation(
+            base.with_updates(strategy="random_injection")
+        ).runtime_factor
+        assert plain > uniform  # skew hurts
+        assert rescued < plain / 2  # sybils still rescue

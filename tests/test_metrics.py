@@ -1,0 +1,143 @@
+"""Tests for the metrics package: balance, histograms, runtime, series."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.balance import LoadStats, gini, idle_fraction, load_stats
+from repro.metrics.histograms import histogram, log_edges, shared_edges
+from repro.metrics.runtime import runtime_factor, summarize_factors
+from repro.metrics.timeseries import TickSeries
+
+
+class TestGini:
+    def test_perfectly_even(self):
+        assert gini(np.full(100, 7)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_hoarder(self):
+        loads = np.zeros(100)
+        loads[0] = 1000
+        assert gini(loads) == pytest.approx(0.99, abs=0.01)
+
+    def test_known_value(self):
+        # two nodes, loads 0 and 1: gini = 0.5
+        assert gini(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_empty_and_zero(self):
+        assert gini(np.array([])) == 0.0
+        assert gini(np.zeros(10)) == 0.0
+
+    def test_scale_invariant(self, rng):
+        x = rng.exponential(size=500)
+        assert gini(x) == pytest.approx(gini(x * 1000), abs=1e-9)
+
+    def test_exponential_gini_is_half(self, rng):
+        """Exponential workloads (hash-placed nodes) have Gini 0.5."""
+        x = rng.exponential(size=200_000)
+        assert gini(x) == pytest.approx(0.5, abs=0.01)
+
+
+class TestLoadStats:
+    def test_values(self):
+        stats = load_stats(np.array([0, 0, 2, 6]))
+        assert stats.n == 4
+        assert stats.total == 8
+        assert stats.mean == 2.0
+        assert stats.median == 1.0
+        assert stats.max == 6
+        assert stats.min == 0
+        assert stats.idle_fraction == 0.5
+
+    def test_empty(self):
+        stats = load_stats(np.array([]))
+        assert stats.n == 0 and stats.total == 0
+
+    def test_as_dict(self):
+        d = load_stats(np.array([1, 2, 3])).as_dict()
+        assert d["median"] == 2.0
+
+    def test_idle_fraction_helper(self):
+        assert idle_fraction(np.array([0, 1, 0, 1])) == 0.5
+
+
+class TestHistograms:
+    def test_shared_edges_cover_all(self):
+        a = np.array([1, 5, 100])
+        b = np.array([2, 50])
+        edges = shared_edges([a, b], n_bins=10)
+        assert edges[0] == 0.0
+        assert edges[-1] > 100
+
+    def test_histogram_accounts_every_node(self):
+        loads = np.array([0, 1, 2, 3, 1000])
+        edges = shared_edges([loads], n_bins=5)
+        hist = histogram(loads, edges)
+        assert hist.n_nodes == 5
+
+    def test_clipping_into_last_bin(self):
+        loads = np.array([5, 500])
+        edges = np.array([0.0, 10.0, 100.0])
+        hist = histogram(loads, edges)
+        assert hist.n_nodes == 2  # 500 clipped into [10, 100)
+
+    def test_density_sums_to_one(self, rng):
+        loads = rng.integers(0, 100, size=500)
+        hist = histogram(loads, shared_edges([loads]))
+        assert hist.density().sum() == pytest.approx(1.0)
+
+    def test_density_empty(self):
+        hist = histogram(np.array([]), np.array([0.0, 1.0, 2.0]))
+        assert hist.density().sum() == 0.0
+
+    def test_log_edges_monotone(self):
+        edges = log_edges(10_000, n_bins=30)
+        assert edges[0] == 0.0
+        assert (np.diff(edges) > 0).all()
+        assert edges[-1] >= 10_000
+
+
+class TestRuntime:
+    def test_factor(self):
+        assert runtime_factor(852, 100.0) == pytest.approx(8.52)
+
+    def test_bad_ideal(self):
+        with pytest.raises(ConfigError):
+            runtime_factor(10, 0)
+
+    def test_summary(self):
+        summary = summarize_factors([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.median == 2.0
+        assert summary.min == 1.0 and summary.max == 3.0
+        assert summary.n_trials == 3
+
+    def test_summary_single(self):
+        assert summarize_factors([1.5]).std == 0.0
+
+    def test_summary_empty(self):
+        with pytest.raises(ConfigError):
+            summarize_factors([])
+
+
+class TestTickSeries:
+    def test_append_and_arrays(self):
+        series = TickSeries()
+        series.append(1, consumed=10, remaining=90, n_slots=5,
+                      n_in_network=5, idle_owners=0)
+        series.append(2, consumed=10, remaining=80, n_slots=5,
+                      n_in_network=5, idle_owners=1)
+        arrays = series.as_arrays()
+        assert arrays["consumed"].tolist() == [10, 10]
+        assert len(series) == 2
+        assert series.mean_work_per_tick() == 10.0
+
+    def test_utilization(self):
+        series = TickSeries()
+        series.append(1, consumed=5, remaining=0, n_slots=10,
+                      n_in_network=10, idle_owners=5)
+        assert series.utilization().tolist() == [0.5]
+
+    def test_empty(self):
+        series = TickSeries()
+        assert series.mean_work_per_tick() == 0.0
+        assert series.utilization().size == 0

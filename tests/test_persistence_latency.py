@@ -1,0 +1,154 @@
+"""Tests for result persistence and the protocol latency model."""
+
+import numpy as np
+import pytest
+
+from repro.chord.latency import LatencyModel, lookup_latency_ms
+from repro.chord.ring import ChordRing
+from repro.config import SimulationConfig
+from repro.hashspace.idspace import IdSpace
+from repro.sim.engine import run_simulation
+from repro.sim.persistence import (
+    load_result,
+    load_trialset,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    save_trialset,
+)
+from repro.sim.trials import run_trials
+
+
+class TestResultPersistence:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = SimulationConfig(
+            strategy="random_injection",
+            n_nodes=60,
+            n_tasks=3000,
+            seed=5,
+            snapshot_ticks=(0, 5),
+            collect_timeseries=True,
+        )
+        return run_simulation(config)
+
+    def test_roundtrip_scalars(self, result, tmp_path):
+        path = save_result(result, tmp_path / "r.json")
+        loaded = load_result(path)
+        assert loaded.runtime_ticks == result.runtime_ticks
+        assert loaded.ideal_ticks == result.ideal_ticks
+        assert loaded.counters == result.counters
+        assert loaded.config == result.config
+        assert loaded.runtime_factor == result.runtime_factor
+
+    def test_roundtrip_snapshots(self, result, tmp_path):
+        loaded = load_result(save_result(result, tmp_path / "r.json"))
+        assert len(loaded.snapshots) == len(result.snapshots)
+        for a, b in zip(loaded.snapshots, result.snapshots):
+            assert a.tick == b.tick
+            assert np.array_equal(a.counts, b.counts)
+            assert a.stats == b.stats
+
+    def test_roundtrip_timeseries(self, result, tmp_path):
+        loaded = load_result(save_result(result, tmp_path / "r.json"))
+        assert loaded.timeseries is not None
+        got = loaded.timeseries.as_arrays()
+        want = result.timeseries.as_arrays()
+        for key in want:
+            assert np.array_equal(got[key], want[key])
+
+    def test_final_loads_optional(self, result, tmp_path):
+        slim = load_result(save_result(result, tmp_path / "a.json"))
+        assert slim.final_loads is None
+        fat = load_result(
+            save_result(
+                result, tmp_path / "b.json", include_final_loads=True
+            )
+        )
+        assert np.array_equal(fat.final_loads, result.final_loads)
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ValueError):
+            result_from_dict({"format": "something_else"})
+
+    def test_dict_is_json_safe(self, result):
+        import json
+
+        json.dumps(result_to_dict(result))
+
+
+class TestTrialSetPersistence:
+    def test_roundtrip(self, tmp_path):
+        trials = run_trials(
+            SimulationConfig(n_nodes=40, n_tasks=800, seed=3), 3
+        )
+        loaded = load_trialset(save_trialset(trials, tmp_path / "t.json"))
+        assert loaded.config == trials.config
+        assert np.array_equal(loaded.factors, trials.factors)
+        assert loaded.factor_summary() == trials.factor_summary()
+
+
+class TestLatencyModel:
+    def test_deterministic_and_symmetric(self):
+        model = LatencyModel(seed=1)
+        assert model.one_way_ms(10, 20) == model.one_way_ms(10, 20)
+        assert model.one_way_ms(10, 20) == model.one_way_ms(20, 10)
+        assert model.one_way_ms(7, 7) == 0.0
+        assert model.rtt_ms(10, 20) == 2 * model.one_way_ms(10, 20)
+
+    def test_median_near_base(self):
+        model = LatencyModel(base_ms=40.0, seed=2)
+        rng = np.random.default_rng(0)
+        samples = [
+            model.one_way_ms(int(a), int(b))
+            for a, b in rng.integers(0, 10**9, size=(500, 2))
+        ]
+        assert np.median(samples) == pytest.approx(40.0, rel=0.15)
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base_ms=0)
+
+
+class TestLookupLatency:
+    @pytest.fixture(scope="class")
+    def ring(self):
+        return ChordRing.create(48, space=IdSpace(28), seed=4)
+
+    def test_modes_same_holder(self, ring):
+        model = LatencyModel(seed=3)
+        node = ring.network.node(ring.network.alive_ids()[0])
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            key = int(rng.integers(0, 2**28))
+            h_it, _ = lookup_latency_ms(node, key, model, mode="iterative")
+            h_rec, _ = lookup_latency_ms(node, key, model, mode="recursive")
+            assert h_it == h_rec
+
+    def test_recursive_cheaper_on_average(self, ring):
+        """Forwarding one-way beats per-hop round trips (Chord §4)."""
+        model = LatencyModel(seed=3)
+        node = ring.network.node(ring.network.alive_ids()[0])
+        rng = np.random.default_rng(6)
+        it_total = rec_total = 0.0
+        for _ in range(100):
+            key = int(rng.integers(0, 2**28))
+            it_total += lookup_latency_ms(
+                node, key, model, mode="iterative"
+            )[1]
+            rec_total += lookup_latency_ms(node, key, model, mode="recursive")[1]
+        assert rec_total < it_total
+
+    def test_unknown_mode(self, ring):
+        node = ring.network.node(ring.network.alive_ids()[0])
+        with pytest.raises(ValueError):
+            lookup_latency_ms(node, 5, LatencyModel(), mode="psychic")
+
+    def test_traced_path_consistency(self, ring):
+        node = ring.network.node(ring.network.alive_ids()[0])
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            key = int(rng.integers(0, 2**28))
+            holder, hops, path = node.find_successor_traced(key)
+            assert len(path) == hops
+            assert holder == node.find_successor(key)[0]

@@ -1,0 +1,60 @@
+"""Tests for the unit-circle projection (paper Figures 2-3 mapping)."""
+
+import math
+
+import numpy as np
+
+from repro.hashspace.idspace import SPACE_160, IdSpace
+from repro.hashspace.projection import (
+    angular_position,
+    project_many,
+    to_unit_circle,
+)
+
+
+class TestToUnitCircle:
+    def test_zero_at_top(self):
+        x, y = to_unit_circle(0, SPACE_160)
+        assert abs(x) < 1e-12 and abs(y - 1.0) < 1e-12
+
+    def test_quarter_turn(self, space8):
+        # id = size/4 → 90° clockwise → (1, 0)
+        x, y = to_unit_circle(64, space8)
+        assert abs(x - 1.0) < 1e-12 and abs(y) < 1e-12
+
+    def test_half_turn(self, space8):
+        x, y = to_unit_circle(128, space8)
+        assert abs(x) < 1e-12 and abs(y + 1.0) < 1e-12
+
+    def test_on_unit_circle(self, space8, rng):
+        for _ in range(50):
+            ident = space8.random_id(rng)
+            x, y = to_unit_circle(ident, space8)
+            assert abs(math.hypot(x, y) - 1.0) < 1e-12
+
+
+class TestAngularPosition:
+    def test_monotone_in_id(self, space8):
+        angles = [angular_position(i, space8) for i in range(0, 256, 16)]
+        assert all(a < b for a, b in zip(angles, angles[1:]))
+
+    def test_range(self, space8):
+        assert angular_position(0, space8) == 0.0
+        assert angular_position(255, space8) < 2 * math.pi
+
+
+class TestProjectMany:
+    def test_shape_and_consistency(self, rng):
+        ids = [SPACE_160.random_id(rng) for _ in range(10)]
+        xy = project_many(ids, SPACE_160)
+        assert xy.shape == (10, 2)
+        for i, ident in enumerate(ids):
+            x, y = to_unit_circle(ident, SPACE_160)
+            assert abs(xy[i, 0] - x) < 1e-9
+            assert abs(xy[i, 1] - y) < 1e-9
+
+    def test_norms(self):
+        space = IdSpace(16)
+        xy = project_many(range(0, 2**16, 997), space)
+        norms = np.hypot(xy[:, 0], xy[:, 1])
+        assert np.allclose(norms, 1.0)

@@ -1,0 +1,176 @@
+"""Tests of Neighbor Injection and its smart (querying) variant (§IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.neighbor import NeighborInjection, SmartNeighborInjection
+from repro.sim.engine import TickEngine, run_simulation
+from repro.sim.view import SimView
+
+
+def make_engine(strategy="neighbor_injection", **overrides) -> TickEngine:
+    overrides.setdefault("n_tasks", 5000)
+    config = SimulationConfig(
+        strategy=strategy, n_nodes=100, seed=17, **overrides
+    )
+    return TickEngine(config)
+
+
+class TestTargetSelection:
+    def test_candidates_are_successors_not_self(self):
+        engine = make_engine()
+        strategy = NeighborInjection()
+        view = engine.view
+        view.begin_round()
+        owner = int(engine.owners.network_indices[0])
+        candidates = strategy._candidate_slots(view, owner)
+        base = view.main_slot(owner)
+        succ = set(
+            view.successor_slots(base, engine.config.num_successors).tolist()
+        )
+        for slot in candidates.tolist():
+            assert slot in succ
+            assert view.slot_owner(int(slot)) != owner
+
+    def test_estimate_picks_largest_gap(self):
+        engine = make_engine()
+        strategy = NeighborInjection()
+        view = engine.view
+        view.begin_round()
+        owner = int(engine.owners.network_indices[0])
+        target = strategy._pick_target(view, owner)
+        candidates = strategy._candidate_slots(view, owner)
+        gaps = [view.slot_gap(int(s)) for s in candidates.tolist()]
+        assert view.slot_gap(target) == max(gaps)
+
+    def test_smart_picks_heaviest_and_counts_messages(self):
+        engine = make_engine(strategy="smart_neighbor_injection")
+        strategy = SmartNeighborInjection()
+        view = engine.view
+        view.begin_round()
+        owner = int(engine.owners.network_indices[0])
+        before = view.stats.messages
+        target = strategy._pick_target(view, owner)
+        candidates = strategy._candidate_slots(view, owner)
+        counts = [view.slot_count(int(s)) for s in candidates.tolist()]
+        assert view.slot_count(target) == max(counts)
+        assert view.stats.messages - before == len(counts)
+
+
+class TestSybilLocality:
+    def test_sybils_land_near_their_owner(self):
+        """Neighbor injection must place a Sybil inside one of the owner's
+        tracked successor arcs — locality is the whole point."""
+        engine = make_engine()
+        k = engine.config.num_successors
+        # run a few decision rounds, checking each new sybil's position
+        for _ in range(3 * engine.config.decision_interval):
+            sybils_before = {
+                int(engine.state.ids[s])
+                for s in np.flatnonzero(~engine.state.is_main)
+            }
+            engine.step()
+            for slot in np.flatnonzero(~engine.state.is_main):
+                ident = int(engine.state.ids[slot])
+                if ident in sybils_before:
+                    continue
+                owner = int(engine.state.owner[slot])
+                main = engine.state.main_slot_of(owner)
+                # within k+1 ring positions clockwise of the main slot
+                # (+1 because the new sybil itself shifted indices)
+                distance = (slot - main) % engine.state.n_slots
+                assert 0 < distance <= k + 1
+
+
+class TestEffectiveness:
+    def test_beats_baseline(self, small_config):
+        baseline = run_simulation(small_config)
+        neighbor = run_simulation(
+            small_config.with_updates(strategy="neighbor_injection")
+        )
+        assert neighbor.runtime_factor < baseline.runtime_factor
+
+    def test_smart_beats_estimate(self):
+        """Querying actual workloads beats estimating by range (§VI-C),
+        averaged over a few seeds."""
+        est, smart = [], []
+        for seed in range(4):
+            config = SimulationConfig(
+                n_nodes=200, n_tasks=20_000, seed=seed
+            )
+            est.append(
+                run_simulation(
+                    config.with_updates(strategy="neighbor_injection")
+                ).runtime_factor
+            )
+            smart.append(
+                run_simulation(
+                    config.with_updates(
+                        strategy="smart_neighbor_injection"
+                    )
+                ).runtime_factor
+            )
+        assert np.mean(smart) < np.mean(est)
+
+    def test_more_successors_help(self):
+        """numSuccessors 10 beats 5 for neighbor injection (§VI-C)."""
+        factors = {}
+        for k in (5, 10):
+            runs = [
+                run_simulation(
+                    SimulationConfig(
+                        strategy="neighbor_injection",
+                        n_nodes=200,
+                        n_tasks=20_000,
+                        num_successors=k,
+                        seed=seed,
+                    )
+                ).runtime_factor
+                for seed in range(3)
+            ]
+            factors[k] = np.mean(runs)
+        assert factors[10] < factors[5]
+
+    def test_conservation(self):
+        for strategy in ("neighbor_injection", "smart_neighbor_injection"):
+            result = run_simulation(
+                SimulationConfig(
+                    strategy=strategy, n_nodes=100, n_tasks=5000, seed=2
+                )
+            )
+            assert result.completed
+            assert result.total_consumed == 5000
+
+
+class TestAvoidFailedRanges:
+    def test_failed_ranges_are_remembered(self):
+        engine = make_engine(avoid_failed_ranges=True)
+        strategy = engine.strategy
+        result = engine.run()
+        assert result.completed
+        # the memory only fills when some injection acquired nothing
+        total_marks = sum(
+            len(v) for v in strategy._failed_ranges.values()
+        )
+        assert total_marks >= 0  # smoke: structure exists and run is sound
+
+    def test_run_valid_with_option(self):
+        result = run_simulation(
+            SimulationConfig(
+                strategy="neighbor_injection",
+                n_nodes=100,
+                n_tasks=5000,
+                avoid_failed_ranges=True,
+                seed=4,
+            )
+        )
+        assert result.completed
+
+
+class TestInvariants:
+    def test_state_valid_every_tick(self):
+        engine = make_engine(n_tasks=2000)
+        while not engine.finished:
+            engine.step()
+            engine.state.verify_invariants()

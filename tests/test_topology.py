@@ -1,0 +1,69 @@
+"""Tests for graph-theoretic overlay analysis."""
+
+import math
+
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.analysis.topology import analyze_topology, overlay_graph
+from repro.chord.ring import ChordRing
+from repro.hashspace.idspace import IdSpace
+
+SPACE = IdSpace(24)
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return ChordRing.create(64, space=SPACE, seed=6)
+
+
+class TestOverlayGraph:
+    def test_nodes_match_ring(self, ring):
+        graph = overlay_graph(ring)
+        assert set(graph.nodes) == set(ring.network.alive_ids())
+
+    def test_successor_cycle_present(self, ring):
+        graph = overlay_graph(ring, include_fingers=False)
+        ids = ring.network.alive_ids()
+        for i, ident in enumerate(ids):
+            succ = ids[(i + 1) % len(ids)]
+            assert graph.has_edge(ident, succ)
+
+    def test_finger_edges_add_shortcuts(self, ring):
+        no_fingers = overlay_graph(ring, include_fingers=False)
+        with_fingers = overlay_graph(ring, include_fingers=True)
+        assert (
+            with_fingers.number_of_edges() > no_fingers.number_of_edges()
+        )
+
+    def test_dead_nodes_excluded(self):
+        ring = ChordRing.create(20, space=SPACE, seed=7)
+        victim = ring.network.alive_ids()[5]
+        ring.fail_node(victim)
+        graph = overlay_graph(ring)
+        assert victim not in graph.nodes
+
+
+class TestAnalyzeTopology:
+    def test_chord_promises_hold(self, ring):
+        """Strong connectivity + logarithmic path lengths."""
+        report = analyze_topology(ring)
+        n = report.n_nodes
+        assert report.strongly_connected
+        # Chord: average lookup path ~ (1/2) log2 n; graph shortest paths
+        # are a lower bound on lookup hops
+        assert report.avg_path_length <= math.log2(n)
+        assert report.diameter <= 2 * math.log2(n)
+        assert report.mean_out_degree >= 5  # successor list alone
+
+    def test_successors_only_is_a_cycle(self, ring):
+        graph = overlay_graph(ring, include_fingers=False)
+        # successor-list-only graph: still strongly connected, but the
+        # n-cycle structure forces long paths without fingers
+        assert networkx.is_strongly_connected(graph)
+
+    def test_as_dict(self, ring):
+        d = analyze_topology(ring).as_dict()
+        assert d["n_nodes"] == 64
+        assert "avg_path_length" in d

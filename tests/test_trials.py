@@ -1,0 +1,58 @@
+"""Tests for multi-trial execution and seed management."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigError
+from repro.sim.trials import run_trials, sweep
+
+
+class TestReproducibility:
+    def test_same_seed_same_trialset(self, tiny_config):
+        a = run_trials(tiny_config, 4)
+        b = run_trials(tiny_config, 4)
+        assert np.array_equal(a.factors, b.factors)
+
+    def test_trials_are_independent(self, tiny_config):
+        trials = run_trials(tiny_config, 6)
+        assert len(set(r.runtime_ticks for r in trials.results)) > 1
+
+    def test_different_root_seed(self, tiny_config):
+        a = run_trials(tiny_config, 3)
+        b = run_trials(tiny_config.with_updates(seed=99), 3)
+        assert not np.array_equal(a.factors, b.factors)
+
+
+class TestParallelism:
+    def test_parallel_equals_serial(self, tiny_config):
+        serial = run_trials(tiny_config, 4, n_jobs=1)
+        parallel = run_trials(tiny_config, 4, n_jobs=2)
+        assert np.array_equal(serial.factors, parallel.factors)
+
+
+class TestAggregation:
+    def test_factor_summary(self, tiny_config):
+        trials = run_trials(tiny_config, 5)
+        summary = trials.factor_summary()
+        assert summary.n_trials == 5
+        assert summary.min <= summary.mean <= summary.max
+        assert trials.mean_factor == pytest.approx(summary.mean)
+
+    def test_counter_means(self, tiny_config):
+        config = tiny_config.with_updates(strategy="random_injection")
+        trials = run_trials(config, 3)
+        means = trials.counter_means()
+        assert means["decision_rounds"] > 0
+
+    def test_zero_trials_rejected(self, tiny_config):
+        with pytest.raises(ConfigError):
+            run_trials(tiny_config, 0)
+
+
+class TestSweep:
+    def test_sweep_varies_field(self, tiny_config):
+        sets = sweep(tiny_config, "n_tasks", [300, 600], n_trials=2)
+        assert sets[0].config.n_tasks == 300
+        assert sets[1].config.n_tasks == 600
+        assert all(ts.n_trials == 2 for ts in sets)

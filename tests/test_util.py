@@ -1,0 +1,98 @@
+"""Tests for the util package (tables, rng) and the errors hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    ExperimentError,
+    IdSpaceError,
+    ProtocolError,
+    ReproError,
+    RingError,
+    SimulationError,
+    StrategyError,
+)
+from repro.util.rng import make_rng, spawn_rngs, spawn_seeds
+from repro.util.tables import format_float, format_kv, format_table
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigError,
+            IdSpaceError,
+            RingError,
+            ProtocolError,
+            SimulationError,
+            StrategyError,
+            ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_value_error_compatibility(self):
+        """Config/IdSpace errors are also ValueErrors for ergonomics."""
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(IdSpaceError, ValueError)
+
+
+class TestRng:
+    def test_make_rng_from_int(self):
+        a = make_rng(7)
+        b = make_rng(7)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_make_rng_from_seedsequence(self):
+        seq = np.random.SeedSequence(5)
+        a = make_rng(seq)
+        b = make_rng(np.random.SeedSequence(5))
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_spawn_seeds_independent(self):
+        seeds = spawn_seeds(0, 5)
+        assert len(seeds) == 5
+        draws = [make_rng(s).integers(0, 10**9) for s in seeds]
+        assert len(set(draws)) == 5
+
+    def test_spawn_rngs(self):
+        rngs = spawn_rngs(0, 3)
+        assert len(rngs) == 3
+        again = spawn_rngs(0, 3)
+        for a, b in zip(rngs, again):
+            assert a.integers(0, 10**9) == b.integers(0, 10**9)
+
+
+class TestTables:
+    def test_format_float(self):
+        assert format_float(1.23456) == "1.235"
+        assert format_float(1.23456, digits=1) == "1.2"
+        assert format_float("text") == "text"
+        assert format_float(7) == "7"
+        assert format_float(True) == "True"
+
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["name", "v"], [["a", 1.5], ["long", 22.25]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "v" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        # columns aligned: all rows same width
+        assert len(lines[3]) == len(lines[4])
+
+    def test_format_table_extra_cells(self):
+        out = format_table(["a"], [["x", "extra"]])
+        assert "extra" in out
+
+    def test_format_kv(self):
+        out = format_kv({"alpha": 1.5, "b": "two"})
+        lines = out.splitlines()
+        assert lines[0].startswith("alpha")
+        assert ": 1.500" in lines[0]
+        assert format_kv({}) == ""

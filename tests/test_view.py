@@ -1,0 +1,141 @@
+"""Tests of SimView — the strategy-facing window onto the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.registry import make_strategy, strategy_names
+from repro.core.strategy import Strategy
+from repro.errors import StrategyError
+from repro.sim.engine import TickEngine
+
+
+def make_view(**overrides):
+    config = SimulationConfig(
+        strategy="random_injection", n_nodes=50, n_tasks=2000, seed=23,
+        **overrides,
+    )
+    engine = TickEngine(config)
+    return engine, engine.view
+
+
+class TestRoundSnapshot:
+    def test_loads_snapshot_is_stable_within_round(self):
+        engine, view = make_view()
+        view.begin_round()
+        before = view.owner_loads().copy()
+        owner = int(np.argmax(before == 0)) if (before == 0).any() else 0
+        view.create_sybil_random(int(engine.owners.network_indices[0]))
+        # snapshot unchanged even though the ring mutated
+        assert np.array_equal(view.owner_loads(), before)
+
+    def test_live_load_reflects_mutation(self):
+        engine, view = make_view()
+        view.begin_round()
+        owner = int(engine.owners.network_indices[0])
+        before_live = view.live_owner_load(owner)
+        acquired = view.create_sybil_random(owner)
+        assert view.live_owner_load(owner) == before_live + acquired
+
+    def test_stats_reset_each_round(self):
+        engine, view = make_view()
+        view.begin_round()
+        view.count_messages(5)
+        assert view.stats.messages == 5
+        view.begin_round()
+        assert view.stats.messages == 0
+
+
+class TestActions:
+    def test_create_sybil_accounting(self):
+        engine, view = make_view()
+        view.begin_round()
+        owner = int(engine.owners.network_indices[3])
+        acquired = view.create_sybil_random(owner)
+        assert view.n_sybils(owner) == 1
+        assert view.stats.sybils_created == 1
+        assert view.stats.tasks_acquired == acquired
+        assert engine.state.n_sybil_slots == 1
+
+    def test_retire_sybils_accounting(self):
+        engine, view = make_view()
+        view.begin_round()
+        owner = int(engine.owners.network_indices[3])
+        view.create_sybil_random(owner)
+        view.create_sybil_random(owner)
+        removed = view.retire_sybils(owner)
+        assert removed == 2
+        assert view.n_sybils(owner) == 0
+        assert engine.state.n_sybil_slots == 0
+        assert view.stats.sybils_retired == 2
+
+    def test_create_in_slot_arc_lands_inside(self):
+        engine, view = make_view()
+        view.begin_round()
+        owner = int(engine.owners.network_indices[0])
+        base = view.main_slot(owner)
+        target = int(view.successor_slots(base, 3)[1])
+        start, end = engine.state.slot_arc(target)
+        acquired = view.create_sybil_in_slot_arc(owner, target)
+        assert acquired is not None
+        # the new sybil's id lies in the old target arc
+        sybil_slots = np.flatnonzero(~engine.state.is_main)
+        ident = int(engine.state.ids[sybil_slots[0]])
+        assert engine.state.space.in_interval(ident, start, end)
+
+    def test_budget_enforced(self):
+        engine, view = make_view(max_sybils=1)
+        view.begin_round()
+        owner = int(engine.owners.network_indices[0])
+        view.create_sybil_random(owner)
+        assert not view.can_add_sybil(owner)
+
+
+class TestPlacementModes:
+    @pytest.mark.parametrize("placement", ["random", "midpoint", "median"])
+    def test_placement_lands_in_arc(self, placement):
+        engine, view = make_view(placement=placement)
+        view.begin_round()
+        owner = int(engine.owners.network_indices[0])
+        target = view.heaviest_slot(int(engine.owners.network_indices[5]))
+        start, end = engine.state.slot_arc(target)
+        acquired = view.create_sybil_in_slot_arc(owner, target)
+        if acquired is None:
+            pytest.skip("arc too small for this seed")
+        sybil_slots = np.flatnonzero(~engine.state.is_main)
+        ident = int(engine.state.ids[sybil_slots[0]])
+        assert engine.state.space.in_interval(
+            ident, start, end, closed_right=False
+        )
+
+    def test_median_placement_takes_half(self):
+        engine, view = make_view(placement="median")
+        view.begin_round()
+        loads = view.owner_loads()
+        heavy_owner = int(np.argmax(loads))
+        target = view.heaviest_slot(heavy_owner)
+        before = engine.state.counts[target]
+        helper = int(
+            engine.owners.network_indices[
+                engine.owners.network_indices != heavy_owner
+            ][0]
+        )
+        acquired = view.create_sybil_in_slot_arc(helper, target)
+        assert acquired is not None
+        assert abs(acquired - before / 2) <= 1
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in strategy_names():
+            strategy = make_strategy(name)
+            assert isinstance(strategy, Strategy)
+            assert strategy.name == name
+
+    def test_from_config(self):
+        config = SimulationConfig(strategy="invitation")
+        assert make_strategy(config).name == "invitation"
+
+    def test_unknown_name(self):
+        with pytest.raises(StrategyError):
+            make_strategy("quantum_balancing")

@@ -1,0 +1,114 @@
+"""Tests for ASCII/SVG rendering and result export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.spec import ExperimentResult
+from repro.metrics.histograms import histogram, shared_edges
+from repro.viz.ascii import bar_chart, render_histogram, render_side_by_side
+from repro.viz.export import result_to_json, write_csv, write_json
+from repro.viz.ringplot import render_ring_svg, ring_svg
+
+
+@pytest.fixture
+def hist_pair(rng):
+    a = rng.integers(0, 50, size=200)
+    b = rng.integers(0, 80, size=200)
+    edges = shared_edges([a, b], n_bins=10)
+    return (
+        histogram(a, edges, tick=5, label="left"),
+        histogram(b, edges, tick=5, label="right"),
+    )
+
+
+class TestAscii:
+    def test_bar_chart(self):
+        out = bar_chart(["a", "bb"], [1, 2], width=10, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "bb" in lines[2]
+        assert lines[2].count("█") == 10
+
+    def test_bar_chart_zero_values(self):
+        out = bar_chart(["x"], [0])
+        assert "x" in out
+
+    def test_render_histogram_counts_everything(self, hist_pair):
+        out = render_histogram(hist_pair[0])
+        assert "tick 5" in out
+        assert "n=200" in out
+
+    def test_render_histogram_merges_rows(self, rng):
+        loads = rng.integers(0, 1000, size=300)
+        hist = histogram(loads, shared_edges([loads], n_bins=60))
+        out = render_histogram(hist, max_rows=10)
+        # rows merged: bins header + <= 11 rows
+        assert len(out.splitlines()) <= 12
+
+    def test_side_by_side(self, hist_pair):
+        out = render_side_by_side(*hist_pair, width=12)
+        assert "left" in out and "right" in out
+
+    def test_side_by_side_requires_shared_edges(self, rng, hist_pair):
+        other = histogram(
+            rng.integers(0, 10, size=50), np.array([0.0, 5.0, 10.0])
+        )
+        with pytest.raises(ValueError):
+            render_side_by_side(hist_pair[0], other)
+
+
+class TestRingSvg:
+    def test_svg_structure(self):
+        nodes = np.array([[0.0, 1.0], [1.0, 0.0]])
+        tasks = np.array([[0.0, -1.0]])
+        svg = ring_svg(nodes, tasks, title="demo")
+        assert svg.startswith("<svg")
+        assert svg.count("<circle") == 3  # ring outline + 2 nodes
+        assert svg.count("<path") == 1  # 1 task plus
+        assert "demo" in svg
+
+    def test_write_file(self, tmp_path):
+        nodes = np.array([[0.0, 1.0]])
+        tasks = np.zeros((0, 2))
+        path = render_ring_svg(nodes, tasks, tmp_path / "ring.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+
+class TestExport:
+    @pytest.fixture
+    def result(self):
+        return ExperimentResult(
+            experiment_id="demo",
+            title="Demo",
+            headers=["a", "b"],
+            rows=[[1, 2.5], [3, np.float64(4.5)]],
+            notes="note",
+        )
+
+    def test_write_csv(self, result, tmp_path):
+        path = write_csv(result, tmp_path / "out.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+
+    def test_write_json_roundtrip(self, result, tmp_path):
+        path = write_json(result, tmp_path / "out.json")
+        data = json.loads(path.read_text())
+        assert data["experiment_id"] == "demo"
+        assert data["rows"][1][1] == 4.5
+
+    def test_json_handles_numpy(self, result):
+        result.rows.append([np.int64(7), np.array([1, 2])])
+        data = result_to_json(result)
+        assert data["rows"][2] == [7, [1, 2]]
+
+    def test_render(self, result):
+        out = result.render()
+        assert "[demo] Demo" in out
+        assert "note" in out
+
+    def test_row_dicts(self, result):
+        assert result.row_dicts()[0] == {"a": 1, "b": 2.5}

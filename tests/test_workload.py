@@ -1,0 +1,69 @@
+"""Tests for workload generation and the ideal-runtime definition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hashspace.idspace import IdSpace
+from repro.sim.workload import (
+    draw_new_node_id,
+    draw_task_keys,
+    draw_unique_ids,
+    ideal_runtime,
+)
+
+
+class TestDrawUniqueIds:
+    def test_unique_and_in_range(self, rng):
+        space = IdSpace(10)
+        ids = draw_unique_ids(500, space, rng)
+        assert np.unique(ids).size == 500
+        assert int(ids.max()) < 1024
+
+    def test_exhaustive_draw(self, rng):
+        space = IdSpace(8)
+        ids = draw_unique_ids(256, space, rng)
+        assert np.unique(ids).size == 256
+
+    def test_overfull_raises(self, rng):
+        with pytest.raises(ConfigError):
+            draw_unique_ids(300, IdSpace(8), rng)
+
+    def test_not_sorted(self, rng):
+        """Ids must be permuted so owner index is independent of position."""
+        ids = draw_unique_ids(1000, IdSpace(32), rng)
+        assert not (ids[:-1] <= ids[1:]).all()
+
+
+class TestDrawTaskKeys:
+    def test_shape_dtype(self, rng):
+        keys = draw_task_keys(1234, IdSpace(64), rng)
+        assert keys.shape == (1234,)
+        assert keys.dtype == np.uint64
+
+
+class TestDrawNewNodeId:
+    def test_avoids_existing(self, rng):
+        space = IdSpace(8)
+        taken = set(range(0, 256, 2))  # all even ids occupied
+        for _ in range(20):
+            ident = draw_new_node_id(space, rng, lambda i: i in taken)
+            assert ident % 2 == 1
+
+    def test_gives_up_when_full(self, rng):
+        space = IdSpace(8)
+        with pytest.raises(ConfigError):
+            draw_new_node_id(space, rng, lambda i: True)
+
+
+class TestIdealRuntime:
+    def test_paper_example(self):
+        # 1000 nodes, 100,000 tasks, one task per tick -> 100 ticks
+        assert ideal_runtime(100_000, 1000) == 100.0
+
+    def test_heterogeneous_capacity(self):
+        assert ideal_runtime(300, 30) == 10.0
+
+    def test_zero_capacity_raises(self):
+        with pytest.raises(ConfigError):
+            ideal_runtime(100, 0)
