@@ -1,0 +1,27 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+# committed reference produced by `make bench-baseline`
+BENCH_BASELINE := benchmarks/BENCH_core_ops_slab.json
+BENCH_CURRENT  := benchmarks/.bench_current.json
+
+.PHONY: test bench bench-baseline bench-check figures
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_core_ops.py --benchmark-only \
+		--benchmark-json=$(BENCH_CURRENT)
+
+bench-baseline:
+	$(PYTHON) -m pytest benchmarks/bench_core_ops.py --benchmark-only \
+		--benchmark-json=$(BENCH_BASELINE)
+
+# re-run the benchmarks and fail on a >20% median regression versus the
+# committed baseline (see benchmarks/compare_bench.py)
+bench-check: bench
+	$(PYTHON) benchmarks/compare_bench.py $(BENCH_BASELINE) $(BENCH_CURRENT)
+
+figures:
+	$(PYTHON) -m repro.cli figures --out figures/

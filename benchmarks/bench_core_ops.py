@@ -12,6 +12,7 @@ from repro.config import SimulationConfig
 from repro.hashspace.idspace import SPACE_64
 from repro.sim.arcops import responsible_slots
 from repro.sim.engine import TickEngine
+from repro.sim.reference import NaiveRingState
 from repro.sim.state import RingState
 from repro.sim.workload import draw_task_keys, draw_unique_ids
 
@@ -90,6 +91,153 @@ def test_split_merge_cycle(benchmark, loaded_state):
 
     benchmark(cycle)
     state.verify_invariants()
+
+
+# ----------------------------------------------------------------------
+# churn-storm / Sybil-storm: slab vs. the naive np.insert/np.delete ring
+# ----------------------------------------------------------------------
+# These are the structural-op stress tests behind the slab rewrite
+# (DESIGN.md §5): under aggressive churn or heavy Sybil injection the
+# per-op full-array copies of the naive ring dominate the tick loop.
+# The ``[naive]`` variants run the reference implementation so the two
+# timings in one benchmark JSON document the speedup directly.
+
+def _build_ring(cls, n_slots, seed=0):
+    rng = np.random.default_rng(seed)
+    ids = draw_unique_ids(n_slots, SPACE_64, rng)
+    keys = draw_task_keys(10 * n_slots, SPACE_64, rng)
+    return cls.build(
+        SPACE_64, ids, np.arange(n_slots, dtype=np.int64), keys, rng
+    )
+
+
+def _churn_storm_script(n_slots, n_ticks, churn=0.01, seed=42):
+    """Precompute leaver owners and joiner ids for a churn storm.
+
+    1% of owners leave and as many join per tick; the same script drives
+    both implementations so the comparison measures structural-op cost,
+    not trajectory differences.
+    """
+    rng = np.random.default_rng(seed)
+    per_tick = max(1, int(n_slots * churn))
+    live = list(range(n_slots))
+    next_owner = n_slots
+    script = []
+    for _ in range(n_ticks):
+        picks = rng.choice(len(live), size=per_tick, replace=False)
+        leavers = [live[i] for i in picks]
+        for i in sorted(picks, reverse=True):
+            live.pop(i)
+        join_ids = rng.integers(
+            0, SPACE_64.size, size=per_tick, dtype=np.uint64
+        ).tolist()  # plain ints, as the engine's id-draw hands over
+        joiners = list(range(next_owner, next_owner + per_tick))
+        live.extend(joiners)
+        next_owner += per_tick
+        script.append((leavers, join_ids, joiners))
+    return script
+
+
+def _run_churn_storm_naive(state, script):
+    for leavers, join_ids, joiners in script:
+        for owner in leavers:
+            if state.n_slots - state.slots_of_owner(owner).size >= 1:
+                state.remove_owner(owner)
+        for ident, owner in zip(join_ids, joiners):
+            if not state.id_exists(ident):
+                state.insert_slot(ident, owner, is_main=True)
+
+
+def _run_churn_storm_slab(state, script):
+    for leavers, join_ids, joiners in script:
+        removal = state.begin_batch_removal(leavers)
+        for owner in leavers:
+            removal.remove_owner_guarded(owner)
+        removal.commit()
+        insertion = state.begin_batch_insertion()
+        for ident, owner in zip(join_ids, joiners):
+            if not insertion.id_exists(ident):
+                insertion.add(ident, owner, is_main=True)
+        insertion.commit()
+
+
+@pytest.mark.parametrize("n_slots", [1_000, 10_000, 100_000])
+def test_churn_storm_slab(benchmark, n_slots):
+    """Batched churn ticks on the slab ring (1% churn/tick)."""
+    script = _churn_storm_script(n_slots, n_ticks=10)
+
+    def fresh_ring():
+        return (_build_ring(RingState, n_slots), script), {}
+
+    def storm(state, script):
+        _run_churn_storm_slab(state, script)
+        return state
+
+    state = benchmark.pedantic(storm, setup=fresh_ring, rounds=5)
+    state.verify_invariants()
+
+
+@pytest.mark.parametrize("n_slots", [1_000, 10_000])
+def test_churn_storm_naive(benchmark, n_slots):
+    """The historical per-op np.insert/np.delete churn path."""
+    script = _churn_storm_script(n_slots, n_ticks=10)
+
+    def fresh_ring():
+        return (_build_ring(NaiveRingState, n_slots), script), {}
+
+    def storm(state, script):
+        _run_churn_storm_naive(state, script)
+        return state
+
+    state = benchmark.pedantic(storm, setup=fresh_ring, rounds=5)
+    state.verify_invariants()
+
+
+def _sybil_storm_ids(n_slots, per_owner, seed=7):
+    rng = np.random.default_rng(seed)
+    n_sybils = n_slots * per_owner
+    return rng.integers(
+        0, SPACE_64.size, size=n_sybils, dtype=np.uint64
+    ).tolist()
+
+
+def _run_sybil_storm(state, sybil_ids, n_owners, per_owner):
+    injected = 0
+    for i, ident in enumerate(sybil_ids):
+        if not state.id_exists(ident):
+            state.insert_slot(ident, i % n_owners, is_main=False)
+            injected += 1
+    for owner in range(n_owners):
+        state.retire_sybils(owner)
+    return injected
+
+
+@pytest.mark.parametrize(
+    "cls,n_slots",
+    [
+        (RingState, 1_000),
+        (RingState, 10_000),
+        (NaiveRingState, 1_000),
+        (NaiveRingState, 10_000),
+    ],
+    ids=["slab-1k", "slab-10k", "naive-1k", "naive-10k"],
+)
+def test_sybil_storm(benchmark, cls, n_slots):
+    """Every owner injects 2 Sybils, then all Sybils are retired —
+    the worst-case structural load a strategy round can generate."""
+    per_owner = 2
+    sybil_ids = _sybil_storm_ids(n_slots, per_owner)
+
+    def fresh_ring():
+        return (_build_ring(cls, n_slots),), {}
+
+    def storm(state):
+        _run_sybil_storm(state, sybil_ids, n_slots, per_owner)
+        return state
+
+    state = benchmark.pedantic(storm, setup=fresh_ring, rounds=5)
+    state.verify_invariants()
+    assert state.n_sybil_slots == 0
 
 
 def test_full_trial_baseline(benchmark):

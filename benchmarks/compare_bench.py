@@ -1,0 +1,103 @@
+"""Compare two pytest-benchmark JSON files and flag regressions.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
+        [--threshold 0.20] [--stat median]
+
+Benchmarks are matched by ``fullname``.  Any benchmark whose chosen
+statistic slowed down by more than ``--threshold`` (default 20%) versus
+the baseline fails the check; the script exits non-zero so CI (or
+``make bench-check``) can gate on it.  Benchmarks present in only one
+file are reported but never fail the check — adding or retiring a
+benchmark is not a regression.
+
+When both the slab and naive churn-storm benchmarks are present in the
+current file, the slab-vs-naive speedup is printed as well (this is the
+headline number of DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_stats(path: str, stat: str) -> dict[str, float]:
+    with open(path) as fh:
+        data = json.load(fh)
+    return {
+        b["fullname"]: float(b["stats"][stat]) for b in data["benchmarks"]
+    }
+
+
+def storm_speedup(stats: dict[str, float], n_slots: int = 10_000) -> float | None:
+    slab = naive = None
+    for name, value in stats.items():
+        if f"test_churn_storm_slab[{n_slots}]" in name:
+            slab = value
+        elif f"test_churn_storm_naive[{n_slots}]" in name:
+            naive = value
+    if slab and naive:
+        return naive / slab
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline pytest-benchmark JSON")
+    parser.add_argument("current", help="current pytest-benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional slowdown before failing (default 0.20)",
+    )
+    parser.add_argument(
+        "--stat",
+        default="median",
+        choices=["min", "median", "mean"],
+        help="which statistic to compare (default median; median is the "
+        "most robust of the three on shared machines)",
+    )
+    args = parser.parse_args(argv)
+
+    base = load_stats(args.baseline, args.stat)
+    cur = load_stats(args.current, args.stat)
+
+    regressions: list[tuple[str, float]] = []
+    width = max((len(n) for n in base), default=0)
+    for name in sorted(base):
+        if name not in cur:
+            print(f"~ {name}: only in baseline (skipped)")
+            continue
+        ratio = cur[name] / base[name]
+        marker = " "
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+            marker = "!"
+        print(f"{marker} {name:<{width}}  {ratio:6.2f}x baseline")
+    for name in sorted(set(cur) - set(base)):
+        print(f"+ {name}: new benchmark (skipped)")
+
+    speedup = storm_speedup(cur)
+    if speedup is not None:
+        print(f"\nchurn-storm slab speedup vs naive (10k slots): "
+              f"{speedup:.2f}x")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} ({args.stat}):",
+            file=sys.stderr,
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x baseline", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

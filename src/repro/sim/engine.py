@@ -149,10 +149,13 @@ class TickEngine:
             self._apply_arrivals()
         consumed = self._consume_tick()
         self.total_consumed += consumed
-        if self.tick in cfg.snapshot_ticks:
-            self._record_snapshot(self.tick)
-        if self.timeseries is not None:
+        want_snapshot = self.tick in cfg.snapshot_ticks
+        if want_snapshot or self.timeseries is not None:
+            # One owner_loads pass serves both measurements.
             loads = self.network_loads()
+        if want_snapshot:
+            self._snapshot_loads[self.tick] = loads.copy()
+        if self.timeseries is not None:
             self.timeseries.append(
                 tick=self.tick,
                 consumed=consumed,
@@ -183,34 +186,48 @@ class TickEngine:
         self.counters["decision_rounds"] += 1
 
     def _apply_churn(self) -> None:
+        """One churn phase, batched (see DESIGN.md §5).
+
+        All departures are applied as one virtual-removal pass plus a
+        single slab compress; all joins as one partition pass plus a
+        single merge splice.  Key movements (and therefore RNG draws)
+        replay the sequential per-node order exactly, so seeded runs are
+        bit-identical to the historical one-``np.insert``/``np.delete``-
+        per-event loop while doing O(n + events) structural work.
+        """
         rate = self.config.churn_rate
         rng = self.rng
         # departures: each in-network node flips a coin (§IV-A)
         net = self.owners.network_indices
         leaving = net[rng.random(net.size) < rate]
-        for owner in leaving:
-            owner = int(owner)
-            # never empty the ring: the last identities stay put
-            n_owner_slots = self.state.slots_of_owner(owner).size
-            if self.state.n_slots - n_owner_slots < 1:
-                continue
-            moved = self.state.remove_owner(owner)
-            self.counters["churn_keys_moved"] += moved
-            self.owners.leave_network(owner)
-            self.counters["churn_leaves"] += 1
-            self._emit("churn_leave", owner=owner, keys_moved=moved)
+        if leaving.size:
+            removal = self.state.begin_batch_removal(leaving)
+            for owner in leaving:
+                owner = int(owner)
+                # never empty the ring: the last identities stay put
+                moved = removal.remove_owner_guarded(owner)
+                if moved is None:
+                    continue
+                self.counters["churn_keys_moved"] += moved
+                self.owners.leave_network(owner)
+                self.counters["churn_leaves"] += 1
+                self._emit("churn_leave", owner=owner, keys_moved=moved)
+            removal.commit()
         # arrivals: each waiting node flips the same coin
         waiting = self.owners.waiting_indices
         joining = waiting[rng.random(waiting.size) < rate]
-        for owner in joining:
-            owner = int(owner)
-            ident = draw_new_node_id(self.space, rng, self.state.id_exists)
-            _, acquired = self.state.insert_slot(ident, owner, is_main=True)
-            self.counters["churn_keys_moved"] += acquired
-            self.owners.join_network(owner, ident)
-            self.counters["churn_joins"] += 1
-            self._emit("churn_join", owner=owner, ident=ident,
-                       acquired=acquired)
+        if joining.size:
+            insertion = self.state.begin_batch_insertion()
+            for owner in joining:
+                owner = int(owner)
+                ident = draw_new_node_id(self.space, rng, insertion.id_exists)
+                acquired = insertion.add(ident, owner, is_main=True)
+                self.counters["churn_keys_moved"] += acquired
+                self.owners.join_network(owner, ident)
+                self.counters["churn_joins"] += 1
+                self._emit("churn_join", owner=owner, ident=ident,
+                           acquired=acquired)
+            insertion.commit()
 
     def _apply_arrivals(self) -> None:
         """Streaming-arrival extension: new tasks trickle in each tick."""
@@ -236,7 +253,8 @@ class TickEngine:
             take = np.minimum(counts, rates[state.owner])
             if take.dtype != counts.dtype:
                 take = take.astype(counts.dtype)
-            state.counts = counts - take
+            counts -= take
+            state.mark_loads_dirty()
             return int(take.sum())
         return self._consume_multi_slot()
 
@@ -267,18 +285,23 @@ class TickEngine:
 
         residual = want[heavy_owners] - take
         if residual.any():
-            for o, r in zip(
-                heavy_owners[residual > 0], residual[residual > 0]
-            ):
+            # Only owners whose heaviest identity could not cover their
+            # rate reach this path, so the loop is bounded by the number
+            # of deficient owners; ``slots_of_owner`` is an indexed
+            # lookup, not a scan.
+            deficient = residual > 0
+            for o, r in zip(heavy_owners[deficient], residual[deficient]):
                 r = int(r)
                 slots = state.slots_of_owner(int(o))
-                for s in slots[np.argsort(-counts[slots])]:
+                group = counts[slots]
+                for j in np.argsort(-group):
                     if r == 0:
                         break
-                    grab = min(r, int(counts[s]))
-                    counts[s] -= grab
+                    grab = min(r, int(group[j]))
+                    counts[slots[j]] -= grab
                     r -= grab
                     consumed += grab
+        state.mark_loads_dirty()
         return consumed
 
     # ------------------------------------------------------------------

@@ -64,6 +64,11 @@ class OwnerRegistry:
         self.main_id = np.zeros(total, dtype=np.uint64)
 
         self._config = config
+        # flatnonzero caches over ``in_network``; invalidated by the two
+        # membership mutators (leave_network / join_network).  Callers
+        # must treat the returned arrays as read-only.
+        self._network_cache: np.ndarray | None = None
+        self._waiting_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -74,16 +79,22 @@ class OwnerRegistry:
     @property
     def network_indices(self) -> np.ndarray:
         """Indices of owners currently participating in the network."""
-        return np.flatnonzero(self.in_network)
+        if self._network_cache is None:
+            self._network_cache = np.flatnonzero(self.in_network)
+            self._network_cache.setflags(write=False)
+        return self._network_cache
 
     @property
     def waiting_indices(self) -> np.ndarray:
         """Indices of owners currently in the waiting pool."""
-        return np.flatnonzero(~self.in_network)
+        if self._waiting_cache is None:
+            self._waiting_cache = np.flatnonzero(~self.in_network)
+            self._waiting_cache.setflags(write=False)
+        return self._waiting_cache
 
     @property
     def n_in_network(self) -> int:
-        return int(self.in_network.sum())
+        return self.network_indices.size
 
     def network_capacity(self) -> int:
         """Aggregate tasks consumed per tick by the current network."""
@@ -132,6 +143,8 @@ class OwnerRegistry:
             raise SimulationError(f"owner {owner} is not in the network")
         self.in_network[owner] = False
         self.n_sybils[owner] = 0
+        self._network_cache = None
+        self._waiting_cache = None
 
     def join_network(self, owner: int, main_id: int) -> None:
         """Move a waiting owner into the network with a fresh main id."""
@@ -140,6 +153,8 @@ class OwnerRegistry:
         self.in_network[owner] = True
         self.n_sybils[owner] = 0
         self.main_id[owner] = np.uint64(main_id)
+        self._network_cache = None
+        self._waiting_cache = None
 
     def validate(self) -> None:
         """Internal consistency checks (used by tests)."""

@@ -1,0 +1,220 @@
+"""Naive reference ring state — the executable specification.
+
+:class:`NaiveRingState` is the original one-``np.insert``/``np.delete``-
+per-operation implementation of the ring, kept verbatim as the semantic
+baseline for the slab-allocated :class:`~repro.sim.state.RingState`.
+Every structural operation reallocates the four slot arrays, and the
+owner queries are full scans — O(n) per op, trivially correct.
+
+It exists for two consumers:
+
+* the equivalence property tests (``tests/test_state_slab_equivalence.py``)
+  drive both implementations with identically-seeded generators through
+  randomized operation sequences and require the full observable state —
+  ids, owners, main flags, remaining key multisets, *and* the RNG stream
+  position — to stay identical;
+* the churn-storm / Sybil-storm microbenchmarks in
+  ``benchmarks/bench_core_ops.py`` measure the slab's speedup against
+  this baseline.
+
+Do not optimise this class.  Its value is being obviously correct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IdSpaceError, RingError
+from repro.hashspace.idspace import IdSpace
+from repro.sim.arcops import in_arc_mask, responsible_slots
+
+__all__ = ["NaiveRingState"]
+
+_U64 = np.uint64
+
+
+class NaiveRingState:
+    """Reference ring with exact task-key accounting (unoptimised)."""
+
+    def __init__(
+        self,
+        space: IdSpace,
+        ids: np.ndarray,
+        owner: np.ndarray,
+        is_main: np.ndarray,
+        keys: list[np.ndarray],
+        rng: np.random.Generator,
+    ):
+        if space.bits > 64:
+            raise IdSpaceError("NaiveRingState requires a <=64-bit id space")
+        self.space = space
+        self.ids = np.asarray(ids, dtype=_U64)
+        self.owner = np.asarray(owner, dtype=np.int64)
+        self.is_main = np.asarray(is_main, dtype=bool)
+        self.keys: list[np.ndarray] = [np.asarray(k, dtype=_U64) for k in keys]
+        self.counts = np.array([k.size for k in self.keys], dtype=np.int64)
+        self.rng = rng
+        self.n_sybil_slots = int((~self.is_main).sum())
+        if self.ids.size and not (self.ids[:-1] < self.ids[1:]).all():
+            raise RingError("slot ids must be strictly increasing")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        space: IdSpace,
+        node_ids: np.ndarray,
+        node_owners: np.ndarray,
+        task_keys: np.ndarray,
+        rng: np.random.Generator,
+    ) -> "NaiveRingState":
+        node_ids = np.asarray(node_ids, dtype=_U64)
+        node_owners = np.asarray(node_owners, dtype=np.int64)
+        if node_ids.size == 0:
+            raise RingError("cannot build an empty ring")
+        if np.unique(node_ids).size != node_ids.size:
+            raise RingError("node ids must be unique")
+        order = np.argsort(node_ids)
+        ids = node_ids[order]
+        owner = node_owners[order]
+        is_main = np.ones(ids.size, dtype=bool)
+
+        task_keys = np.asarray(task_keys, dtype=_U64)
+        slot_idx = responsible_slots(ids, task_keys)
+        grouping = np.argsort(slot_idx, kind="stable")
+        grouped = task_keys[grouping]
+        per_slot = np.bincount(slot_idx, minlength=ids.size)
+        offsets = np.concatenate(([0], np.cumsum(per_slot)))
+        keys = [
+            grouped[offsets[i] : offsets[i + 1]].copy()
+            for i in range(ids.size)
+        ]
+        return cls(space, ids, owner, is_main, keys, rng)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_slots(self) -> int:
+        return self.ids.size
+
+    def total_remaining(self) -> int:
+        return int(self.counts.sum())
+
+    def remaining_keys(self, slot: int) -> np.ndarray:
+        return self.keys[slot][: self.counts[slot]]
+
+    def pred_id(self, slot: int) -> int:
+        return int(self.ids[slot - 1])
+
+    def id_exists(self, ident: int) -> bool:
+        pos = int(np.searchsorted(self.ids, _U64(ident)))
+        return pos < self.n_slots and int(self.ids[pos]) == ident
+
+    def slots_of_owner(self, owner: int) -> np.ndarray:
+        return np.flatnonzero(self.owner == owner)
+
+    def owner_loads(self, n_owners: int) -> np.ndarray:
+        loads = np.bincount(
+            self.owner, weights=self.counts, minlength=n_owners
+        )
+        return loads.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def add_tasks(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=_U64)
+        if keys.size == 0:
+            return
+        slot_idx = responsible_slots(self.ids, keys)
+        for slot in np.unique(slot_idx):
+            fresh = keys[slot_idx == slot]
+            merged = np.concatenate((self.remaining_keys(int(slot)), fresh))
+            merged = self.rng.permutation(merged)
+            self.keys[int(slot)] = merged
+            self.counts[int(slot)] = merged.size
+
+    def consume_at(self, slots: np.ndarray, amounts: np.ndarray) -> None:
+        self.counts[slots] -= amounts
+        if (self.counts[slots] < 0).any():
+            raise RingError("consumed more tasks than a slot holds")
+
+    def insert_slot(
+        self, new_id: int, owner: int, *, is_main: bool
+    ) -> tuple[int, int]:
+        nid = _U64(self.space.validate(new_id))
+        pos = int(np.searchsorted(self.ids, nid, side="left"))
+        if pos < self.n_slots and self.ids[pos] == nid:
+            raise IdSpaceError(f"identifier {new_id} already on the ring")
+        succ = pos if pos < self.n_slots else 0
+        pred = self.pred_id(succ)
+
+        remaining = self.remaining_keys(succ)
+        mask = in_arc_mask(remaining, pred, int(nid))
+        taken = remaining[mask]
+        kept = remaining[~mask]
+
+        self.ids = np.insert(self.ids, pos, nid)
+        self.owner = np.insert(self.owner, pos, owner)
+        self.is_main = np.insert(self.is_main, pos, is_main)
+        self.counts = np.insert(self.counts, pos, taken.size)
+        self.keys.insert(pos, taken)
+        if not is_main:
+            self.n_sybil_slots += 1
+
+        succ_new = succ + 1 if pos <= succ else succ
+        self.keys[succ_new] = kept
+        self.counts[succ_new] = kept.size
+        return pos, int(taken.size)
+
+    def remove_slot(self, slot: int) -> int:
+        if self.n_slots <= 1:
+            raise RingError("cannot remove the last slot on the ring")
+        succ = (slot + 1) % self.n_slots
+        moved = self.remaining_keys(slot)
+        if moved.size:
+            merged = np.concatenate((moved, self.remaining_keys(succ)))
+            merged = self.rng.permutation(merged)
+        else:
+            merged = self.remaining_keys(succ).copy()
+
+        if not self.is_main[slot]:
+            self.n_sybil_slots -= 1
+        self.ids = np.delete(self.ids, slot)
+        self.owner = np.delete(self.owner, slot)
+        self.is_main = np.delete(self.is_main, slot)
+        self.counts = np.delete(self.counts, slot)
+        self.keys.pop(slot)
+
+        succ_new = succ - 1 if succ > slot else succ
+        self.keys[succ_new] = merged
+        self.counts[succ_new] = merged.size
+        return int(moved.size)
+
+    def remove_owner(self, owner: int) -> int:
+        moved = 0
+        while True:
+            slots = self.slots_of_owner(owner)
+            if slots.size == 0:
+                return moved
+            moved += self.remove_slot(int(slots[0]))
+
+    def retire_sybils(self, owner: int) -> int:
+        removed = 0
+        while True:
+            slots = np.flatnonzero((self.owner == owner) & ~self.is_main)
+            if slots.size == 0:
+                return removed
+            self.remove_slot(int(slots[0]))
+            removed += 1
+
+    # ------------------------------------------------------------------
+    def verify_invariants(self) -> None:
+        if self.n_slots == 0:
+            raise RingError("empty ring")
+        if not (self.ids[:-1] < self.ids[1:]).all():
+            raise RingError("ids not strictly increasing")
+        if (self.counts < 0).any():
+            raise RingError("negative remaining count")
+        for i in range(self.n_slots):
+            if self.counts[i] > self.keys[i].size:
+                raise RingError(f"slot {i}: count exceeds stored keys")
+        if self.n_sybil_slots != int((~self.is_main).sum()):
+            raise RingError("sybil slot counter out of sync")

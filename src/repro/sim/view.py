@@ -89,8 +89,7 @@ class SimView(NetworkView):
         return self._loads
 
     def live_owner_load(self, owner: int) -> int:
-        slots = self._state.slots_of_owner(owner)
-        return int(self._state.counts[slots].sum())
+        return self._state.owner_load(owner)
 
     def n_sybils(self, owner: int) -> int:
         return int(self._owners.n_sybils[owner])

@@ -62,6 +62,50 @@ class TestChurnMechanics:
             engine.state.verify_invariants()
             engine.owners.validate()
 
+    def test_invariants_every_tick_under_churn_storm(self):
+        """Aggressive churn exercises the batched leave/join pass hard:
+        every tick many owners depart and many join at once, and the
+        full structural invariant set (including the owner index and
+        loads cache) must hold after each batch commit."""
+        config = SimulationConfig(
+            strategy="churn",
+            n_nodes=80,
+            n_tasks=8_000,
+            churn_rate=0.15,
+            seed=17,
+        )
+        engine = TickEngine(config)
+        for _ in range(120):
+            if engine.finished:
+                break
+            engine.step()
+            engine.state.verify_invariants()
+            engine.owners.validate()
+        assert engine.counters["churn_leaves"] > 50
+        assert engine.counters["churn_joins"] > 50
+
+    def test_invariants_every_tick_with_sybils_and_churn(self):
+        """Sybil creation/retirement interleaved with batched churn keeps
+        the slab, owner index, and key accounting consistent."""
+        config = SimulationConfig(
+            strategy="random_injection",
+            n_nodes=60,
+            n_tasks=6_000,
+            churn_rate=0.05,
+            seed=11,
+        )
+        engine = TickEngine(config)
+        consumed = 0
+        for _ in range(120):
+            if engine.finished:
+                break
+            consumed += engine.step()
+            engine.state.verify_invariants()
+            engine.owners.validate()
+            assert consumed + engine.remaining == config.n_tasks
+        assert engine.state.n_sybil_slots >= 0
+        assert engine.counters["sybils_created"] > 0
+
 
 class TestChurnSpeedup:
     """The paper's core §VI-A result at test scale."""

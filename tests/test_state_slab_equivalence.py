@@ -1,0 +1,184 @@
+"""Slab RingState vs. the naive reference: observation equivalence.
+
+The slab-allocated :class:`~repro.sim.state.RingState` must be
+indistinguishable from :class:`~repro.sim.reference.NaiveRingState` —
+not just in the multiset of remaining keys, but bit-for-bit: same slot
+arrays, same remaining-key *order*, and the same generator stream
+position after every operation.  That last condition is what makes
+seeded whole-simulation runs reproducible across the rewrite.
+
+``add_tasks`` is the one deliberate exception: the slab version shuffles
+all affected slots in a single vectorized pass, which consumes the
+stream differently, so it is held to per-slot multiset equality instead.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IdSpaceError
+from repro.hashspace.idspace import IdSpace
+from repro.sim.reference import NaiveRingState
+from repro.sim.state import RingState
+
+SPACE = IdSpace(12)
+
+
+def build_pair(seed, n_nodes, n_keys):
+    """Identically-seeded (slab, naive) rings over the same initial data."""
+    setup = np.random.default_rng(seed)
+    ids = setup.choice(
+        SPACE.size, size=n_nodes, replace=False
+    ).astype(np.uint64)
+    keys = setup.integers(0, SPACE.size, size=n_keys, dtype=np.uint64)
+    owners = np.arange(n_nodes, dtype=np.int64)
+    slab = RingState.build(
+        SPACE, ids, owners, keys, np.random.default_rng(seed + 1)
+    )
+    naive = NaiveRingState.build(
+        SPACE, ids, owners, keys, np.random.default_rng(seed + 1)
+    )
+    return slab, naive
+
+
+def assert_equivalent(slab, naive, *, exact_order=True):
+    assert slab.n_slots == naive.n_slots
+    assert slab.n_sybil_slots == naive.n_sybil_slots
+    np.testing.assert_array_equal(slab.ids, naive.ids)
+    np.testing.assert_array_equal(slab.owner, naive.owner)
+    np.testing.assert_array_equal(slab.is_main, naive.is_main)
+    np.testing.assert_array_equal(slab.counts, naive.counts)
+    for i in range(slab.n_slots):
+        a = slab.remaining_keys(i)
+        b = naive.remaining_keys(i)
+        if not exact_order:
+            a, b = np.sort(a), np.sort(b)
+        np.testing.assert_array_equal(a, b)
+    if exact_order:
+        # same number and order of draws consumed from the stream
+        assert (
+            slab.rng.bit_generator.state == naive.rng.bit_generator.state
+        )
+
+
+OP = st.sampled_from(
+    ["insert_main", "insert_sybil", "remove_slot", "remove_owner",
+     "retire_sybils", "consume"]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_nodes=st.integers(2, 16),
+    n_keys=st.integers(0, 250),
+    ops=st.lists(st.tuples(OP, st.integers(0, 2**31 - 1)), max_size=30),
+)
+def test_slab_matches_naive_reference(seed, n_nodes, n_keys, ops):
+    slab, naive = build_pair(seed, n_nodes, n_keys)
+    next_owner = n_nodes
+
+    for kind, op_seed in ops:
+        op_rng = np.random.default_rng(op_seed)
+        if kind in ("insert_main", "insert_sybil"):
+            ident = int(op_rng.integers(0, SPACE.size))
+            if kind == "insert_main":
+                owner, is_main = next_owner, True
+            else:
+                owner = int(op_rng.integers(0, next_owner))
+                is_main = False
+            try:
+                got = slab.insert_slot(ident, owner, is_main=is_main)
+            except IdSpaceError:
+                continue
+            assert got == naive.insert_slot(ident, owner, is_main=is_main)
+            if is_main:
+                next_owner += 1
+        elif kind == "remove_slot":
+            if slab.n_slots <= 1:
+                continue
+            slot = int(op_rng.integers(0, slab.n_slots))
+            assert slab.remove_slot(slot) == naive.remove_slot(slot)
+        elif kind == "remove_owner":
+            owner = int(op_rng.integers(0, next_owner))
+            if slab.n_slots - slab.slots_of_owner(owner).size < 1:
+                continue
+            assert slab.remove_owner(owner) == naive.remove_owner(owner)
+        elif kind == "retire_sybils":
+            owner = int(op_rng.integers(0, next_owner))
+            assert slab.retire_sybils(owner) == naive.retire_sybils(owner)
+        elif kind == "consume":
+            if slab.n_slots == 0:
+                continue
+            slot = int(op_rng.integers(0, slab.n_slots))
+            take = int(min(slab.counts[slot], op_rng.integers(0, 5)))
+            idx = np.array([slot])
+            amt = np.array([take], dtype=np.int64)
+            slab.consume_at(idx, amt)
+            naive.consume_at(idx, amt)
+        slab.verify_invariants()
+        assert_equivalent(slab, naive)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_nodes=st.integers(2, 12),
+    n_keys=st.integers(0, 150),
+    n_fresh=st.integers(0, 150),
+)
+def test_add_tasks_matches_naive_keysets(seed, n_nodes, n_keys, n_fresh):
+    """Vectorized ``add_tasks`` routes every key to the same slot as the
+    reference (the within-slot shuffle order may differ)."""
+    slab, naive = build_pair(seed, n_nodes, n_keys)
+    fresh = np.random.default_rng(seed ^ 0x5EED).integers(
+        0, SPACE.size, size=n_fresh, dtype=np.uint64
+    )
+    slab.add_tasks(fresh)
+    naive.add_tasks(fresh)
+    slab.verify_invariants()
+    assert_equivalent(slab, naive, exact_order=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_nodes=st.integers(3, 14),
+    n_keys=st.integers(0, 200),
+    leavers=st.lists(st.integers(0, 13), max_size=6),
+    joiner_ids=st.lists(st.integers(0, SPACE.size - 1), max_size=6),
+)
+def test_batched_churn_matches_sequential(
+    seed, n_nodes, n_keys, leavers, joiner_ids
+):
+    """A batched removal pass followed by a batched insertion pass is
+    bit-identical (state and RNG stream) to the sequential per-node
+    remove_owner / insert_slot loop the engine used to run."""
+    slab, naive = build_pair(seed, n_nodes, n_keys)
+    next_owner = n_nodes
+
+    removal = slab.begin_batch_removal()
+    for owner in leavers:
+        owner = owner % n_nodes
+        moved = removal.remove_owner_guarded(owner)
+        # replay sequentially on the reference
+        if naive.n_slots - naive.slots_of_owner(owner).size >= 1:
+            assert moved == naive.remove_owner(owner)
+        else:
+            assert moved is None
+    removal.commit()
+
+    insertion = slab.begin_batch_insertion()
+    for ident in joiner_ids:
+        if insertion.id_exists(ident):
+            continue
+        acquired = insertion.add(ident, next_owner, is_main=True)
+        _, naive_acquired = naive.insert_slot(
+            ident, next_owner, is_main=True
+        )
+        assert acquired == naive_acquired
+        next_owner += 1
+    insertion.commit()
+
+    slab.verify_invariants()
+    assert_equivalent(slab, naive)
