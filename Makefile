@@ -5,7 +5,7 @@ export PYTHONPATH := src
 BENCH_BASELINE := benchmarks/BENCH_core_ops_slab.json
 BENCH_CURRENT  := benchmarks/.bench_current.json
 
-.PHONY: test bench bench-baseline bench-check figures
+.PHONY: test bench bench-baseline bench-check sweep-resume-check check figures
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,6 +22,15 @@ bench-baseline:
 # committed baseline (see benchmarks/compare_bench.py)
 bench-check: bench
 	$(PYTHON) benchmarks/compare_bench.py $(BENCH_BASELINE) $(BENCH_CURRENT)
+
+# kill a quick-scale sweep midway (SIGKILL), resume it from the trial
+# cache, and require the merged TrialSet to be bit-identical to an
+# uninterrupted run (see scripts/sweep_resume_check.py)
+sweep-resume-check:
+	$(PYTHON) scripts/sweep_resume_check.py
+
+# the full tier-1 gate: unit/property tests, perf regression, resume
+check: test bench-check sweep-resume-check
 
 figures:
 	$(PYTHON) -m repro.cli figures --out figures/

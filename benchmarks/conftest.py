@@ -14,6 +14,20 @@ import pytest
 from repro.experiments.spec import ExperimentResult
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _no_trial_cache():
+    """Benchmarks time real work — cached trials would fake the numbers."""
+    import os
+
+    old = os.environ.get("REPRO_CACHE")
+    os.environ["REPRO_CACHE"] = "0"
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE", None)
+    else:
+        os.environ["REPRO_CACHE"] = old
+
+
 def run_and_render(benchmark, fn, **kwargs) -> ExperimentResult:
     """Run an experiment once under the benchmark timer and print it."""
     result = benchmark.pedantic(

@@ -33,16 +33,18 @@ from repro.core import (
     Strategy,
     make_strategy,
 )
-from repro.errors import ReproError
+from repro.errors import ReproError, TrialError
 from repro.hashspace import SPACE_64, SPACE_160, Arc, IdSpace
 from repro.metrics import LoadStats, load_stats, runtime_factor
 from repro.sim import (
     SimulationResult,
     TickEngine,
+    TrialCache,
     TrialSet,
     run_simulation,
     run_trial,
     run_trials,
+    sweep,
 )
 
 __version__ = "1.0.0"
@@ -55,8 +57,11 @@ __all__ = [
     "run_simulation",
     "run_trial",
     "run_trials",
+    "sweep",
     "SimulationResult",
     "TrialSet",
+    "TrialCache",
+    "TrialError",
     "Strategy",
     "make_strategy",
     "NoStrategy",

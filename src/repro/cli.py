@@ -17,11 +17,22 @@ Subcommands
 ``repro theory [--nodes N] [--tasks T]``
     Print the closed-form predictions for a network size next to a
     fresh measurement.
+``repro sweep --field F --values a,b,c [--out PATH] ...``
+    One-dimensional parameter sweep; ``--out`` persists every TrialSet
+    to one JSON document.  Interrupted sweeps resume from the trial
+    cache — re-running the same command recomputes only missing trials.
+``repro cache [--clear]``
+    Show (or empty) the content-addressed trial cache.
+
+Caching: completed trials persist under ``~/.cache/repro`` (override
+with ``REPRO_CACHE_DIR``), so re-running any experiment is a cache hit.
+``--no-cache`` (or ``REPRO_CACHE=0``) computes everything fresh.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -50,6 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--jobs", type=int, default=1)
     run_p.add_argument("--csv", type=Path, default=None)
     run_p.add_argument("--json", type=Path, default=None)
+    run_p.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every trial (skip the content-addressed cache)",
+    )
+    run_p.add_argument(
+        "--manifest", type=Path, default=None,
+        help="write the run manifest(s) to this JSON file",
+    )
 
     sim_p = sub.add_parser("simulate", help="one ad-hoc simulation")
     sim_p.add_argument("--strategy", choices=STRATEGY_NAMES, default="none")
@@ -66,6 +85,49 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--seed", type=int, default=0)
     sim_p.add_argument("--trials", type=int, default=1)
     sim_p.add_argument("--jobs", type=int, default=1)
+    sim_p.add_argument("--no-cache", action="store_true")
+    sim_p.add_argument(
+        "--retries", type=int, default=1,
+        help="re-dispatches of a failed trial (fresh worker, same seed)",
+    )
+    sim_p.add_argument(
+        "--timeout", type=float, default=None,
+        help="seconds without a trial completion before workers are "
+        "considered hung (parallel runs)",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="one-dimensional parameter sweep with resume"
+    )
+    sweep_p.add_argument(
+        "--field", required=True, help="SimulationConfig field to vary"
+    )
+    sweep_p.add_argument(
+        "--values", required=True,
+        help="comma-separated values (JSON literals: 0.01, 1000, ...)",
+    )
+    sweep_p.add_argument("--trials", type=int, default=3)
+    sweep_p.add_argument("--strategy", choices=STRATEGY_NAMES, default="none")
+    sweep_p.add_argument("--nodes", type=int, default=1000)
+    sweep_p.add_argument("--tasks", type=int, default=100_000)
+    sweep_p.add_argument("--churn", type=float, default=0.0)
+    sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument("--jobs", type=int, default=1)
+    sweep_p.add_argument("--out", type=Path, default=None,
+                         help="persist every TrialSet to this JSON file")
+    sweep_p.add_argument(
+        "--crn", action="store_true",
+        help="common random numbers: reuse identical trial seeds at "
+        "every sweep point (variance reduction; off by default)",
+    )
+    sweep_p.add_argument("--no-cache", action="store_true")
+    sweep_p.add_argument("--retries", type=int, default=1)
+    sweep_p.add_argument("--timeout", type=float, default=None)
+
+    cache_p = sub.add_parser(
+        "cache", help="show or clear the content-addressed trial cache"
+    )
+    cache_p.add_argument("--clear", action="store_true")
 
     fig_p = sub.add_parser("figures", help="render Figure 2/3 ring SVGs")
     fig_p.add_argument("--out", type=Path, default=Path("figures"))
@@ -110,17 +172,19 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments.registry import EXPERIMENTS, run_experiment
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.experiments.runner import run_with_manifest, save_manifests
     from repro.viz.export import write_csv, write_json
 
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    manifests = []
     for exp_id in ids:
-        t0 = time.time()
-        result = run_experiment(
+        result, manifest = run_with_manifest(
             exp_id, scale=args.scale, seed=args.seed, n_jobs=args.jobs
         )
+        manifests.append(manifest)
         print(result.render())
-        print(f"  ({time.time() - t0:.1f}s)\n")
+        print(f"  ({manifest.summary_line()})\n")
         if args.csv:
             path = (
                 args.csv
@@ -137,6 +201,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
             write_json(result, path)
             print(f"  wrote {path}")
+    if args.manifest:
+        path = save_manifests(manifests, args.manifest)
+        print(f"  wrote {path}")
     return 0
 
 
@@ -157,7 +224,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     t0 = time.time()
-    trials = run_trials(config, args.trials, n_jobs=args.jobs)
+    trials = run_trials(
+        config,
+        args.trials,
+        n_jobs=args.jobs,
+        retries=args.retries,
+        timeout=args.timeout,
+    )
     summary = trials.factor_summary()
     print(
         format_kv(
@@ -174,6 +247,86 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                     f"avg {k}": round(v, 1)
                     for k, v in trials.counter_means().items()
                 },
+            }
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.sim.persistence import save_sweep
+    from repro.sim.trials import reset_run_stats, run_stats, sweep
+    from repro.util.tables import format_table
+
+    values = []
+    for item in args.values.split(","):
+        item = item.strip()
+        try:
+            values.append(_json.loads(item))
+        except _json.JSONDecodeError:
+            values.append(item)
+    base = SimulationConfig(
+        strategy=args.strategy,
+        n_nodes=args.nodes,
+        n_tasks=args.tasks,
+        churn_rate=args.churn,
+        seed=args.seed,
+    )
+    reset_run_stats()
+    t0 = time.time()
+    sets = sweep(
+        base,
+        args.field,
+        values,
+        args.trials,
+        n_jobs=args.jobs,
+        common_random_numbers=args.crn,
+        retries=args.retries,
+        timeout=args.timeout,
+    )
+    rows = [
+        [value, ts.config.seed, ts.n_trials, ts.mean_factor]
+        for value, ts in zip(values, sets)
+    ]
+    print(
+        format_table(
+            [args.field, "point seed", "trials", "mean factor"],
+            rows,
+            title=f"sweep over {args.field} "
+            f"({'CRN' if args.crn else 'decorrelated'} seeds)",
+        )
+    )
+    print(f"  ({run_stats().summary_line()}, {time.time() - t0:.1f}s wall)")
+    if args.out:
+        path = save_sweep(sets, args.out)
+        print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.sim.cache import (
+        CACHE_SCHEMA_VERSION,
+        TrialCache,
+        cache_enabled,
+    )
+    from repro.util.tables import format_kv
+
+    cache = TrialCache()
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached trial(s) from {cache.root}")
+        return 0
+    entries = cache.entries()
+    print(
+        format_kv(
+            {
+                "cache dir": str(cache.root),
+                "enabled": cache_enabled(),
+                "schema version": CACHE_SCHEMA_VERSION,
+                "cached trials": len(entries),
+                "size (MB)": round(cache.size_bytes() / 1e6, 2),
             }
         )
     )
@@ -266,12 +419,32 @@ def _cmd_theory(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "no_cache", False):
+        # Every run_trials call below resolves the cache from the
+        # environment, so one switch covers arbitrarily nested calls.
+        old = os.environ.get("REPRO_CACHE")
+        os.environ["REPRO_CACHE"] = "0"
+        try:
+            return _dispatch(args)
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_CACHE", None)
+            else:
+                os.environ["REPRO_CACHE"] = old
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "profile":

@@ -15,6 +15,7 @@ __all__ = [
     "ProtocolError",
     "SimulationError",
     "StrategyError",
+    "TrialError",
     "ExperimentError",
 ]
 
@@ -45,6 +46,23 @@ class SimulationError(ReproError):
 
 class StrategyError(ReproError):
     """A load-balancing strategy was misused or misconfigured."""
+
+
+class TrialError(SimulationError):
+    """One or more trials of a multi-trial run failed after retries.
+
+    Unlike a bare worker traceback, this names every failed trial: the
+    ``failures`` attribute holds :class:`repro.sim.trials.TrialFailure`
+    records ``(trial_index, seed_entropy, spawn_key, attempts, error)``,
+    and ``n_completed`` counts the sibling trials that did finish (their
+    results are preserved in the trial cache, so a re-run only redoes
+    the failures).
+    """
+
+    def __init__(self, message: str, failures: tuple = (), n_completed: int = 0):
+        super().__init__(message)
+        self.failures = tuple(failures)
+        self.n_completed = n_completed
 
 
 class ExperimentError(ReproError):

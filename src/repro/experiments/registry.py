@@ -6,9 +6,11 @@ EXPERIMENTS.md generator.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.errors import ExperimentError
+from repro.sim.trials import reset_run_stats, run_stats
 from repro.experiments import (
     ablations,
     ext_arrivals,
@@ -65,7 +67,14 @@ def run_experiment(
     seed: int = 0,
     n_jobs: int = 1,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    Trial accounting for the run (trials run/cached/failed, retries,
+    seconds per trial) is collected across every ``run_trials`` call the
+    experiment makes and attached as ``result.meta["run_stats"]``; the
+    CLI and the report builder surface it, and
+    :mod:`repro.experiments.runner` folds it into the run manifest.
+    """
     try:
         _, fn = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -73,4 +82,9 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; known: "
             f"{sorted(EXPERIMENTS)}"
         ) from None
-    return fn(scale=scale, seed=seed, n_jobs=n_jobs)
+    reset_run_stats()
+    t0 = time.perf_counter()
+    result = fn(scale=scale, seed=seed, n_jobs=n_jobs)
+    result.meta["run_stats"] = run_stats().as_dict()
+    result.meta["wall_s"] = round(time.perf_counter() - t0, 3)
+    return result

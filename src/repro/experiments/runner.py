@@ -1,0 +1,129 @@
+"""Experiment execution with run manifests.
+
+A paper-scale reproduction is hours of compute; when it finishes (or is
+killed) you want a durable record of what actually ran: which trials
+were computed fresh, which came from the content-addressed cache, which
+failed and were retried, and how long a trial costs.  This module wraps
+:func:`repro.experiments.registry.run_experiment` to produce that record
+— a :class:`RunManifest` per experiment — which the CLI prints after
+every run and ``repro report`` persists as ``manifest.json``.
+
+Resume workflow: because completion is recorded per trial in the cache
+(see :mod:`repro.sim.cache`), there is no separate checkpoint file —
+re-running an interrupted experiment or sweep *is* the resume, and the
+manifest's ``trials_cached`` count shows how much work the interruption
+preserved.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.spec import ExperimentResult
+from repro.sim.cache import (
+    CACHE_SCHEMA_VERSION,
+    cache_enabled,
+    default_cache_dir,
+)
+
+__all__ = ["RunManifest", "run_with_manifest", "save_manifests"]
+
+MANIFEST_FORMAT = "repro.run_manifest.v1"
+
+
+@dataclass
+class RunManifest:
+    """Provenance and accounting for one experiment execution."""
+
+    experiment_id: str
+    scale: str
+    seed: int
+    n_jobs: int
+    wall_s: float
+    started_at: float
+    cache_dir: str
+    cache_enabled: bool
+    cache_schema: int
+    run_stats: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "format": MANIFEST_FORMAT,
+            "experiment_id": self.experiment_id,
+            "scale": self.scale,
+            "seed": self.seed,
+            "n_jobs": self.n_jobs,
+            "wall_s": self.wall_s,
+            "started_at": self.started_at,
+            "cache_dir": self.cache_dir,
+            "cache_enabled": self.cache_enabled,
+            "cache_schema": self.cache_schema,
+            "run_stats": dict(self.run_stats),
+        }
+
+    def summary_line(self) -> str:
+        stats = self.run_stats
+        total = stats.get("trials_run", 0) + stats.get("trials_cached", 0)
+        parts = [
+            f"{total} trials",
+            f"{stats.get('trials_cached', 0)} cached",
+            f"{stats.get('trials_run', 0)} run",
+        ]
+        if stats.get("retries"):
+            parts.append(f"{stats['retries']} retried")
+        if stats.get("trials_failed"):
+            parts.append(f"{stats['trials_failed']} FAILED")
+        avg = stats.get("avg_trial_seconds", 0.0)
+        if avg:
+            parts.append(f"{avg:.3f}s/trial")
+        parts.append(f"{self.wall_s:.1f}s wall")
+        return ", ".join(parts)
+
+
+def run_with_manifest(
+    experiment_id: str,
+    scale: str | None = None,
+    seed: int = 0,
+    n_jobs: int = 1,
+) -> tuple[ExperimentResult, RunManifest]:
+    """Run one experiment and build its manifest."""
+    started = time.time()
+    result = run_experiment(
+        experiment_id, scale=scale, seed=seed, n_jobs=n_jobs
+    )
+    manifest = RunManifest(
+        experiment_id=experiment_id,
+        scale=result.scale,
+        seed=seed,
+        n_jobs=n_jobs,
+        wall_s=float(result.meta.get("wall_s", 0.0)),
+        started_at=started,
+        cache_dir=str(default_cache_dir()),
+        cache_enabled=cache_enabled(),
+        cache_schema=CACHE_SCHEMA_VERSION,
+        run_stats=dict(result.meta.get("run_stats", {})),
+    )
+    return result, manifest
+
+
+def save_manifests(
+    manifests: list[RunManifest], path: str | Path
+) -> Path:
+    """Write one JSON document covering several experiment runs."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {
+                "format": MANIFEST_FORMAT,
+                "runs": [m.as_dict() for m in manifests],
+            },
+            indent=2,
+        )
+    )
+    return path

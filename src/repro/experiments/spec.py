@@ -65,6 +65,10 @@ class ExperimentResult:
         Raw artifacts (histogram objects, factor arrays, layouts).
     notes:
         Reading guidance / deviations.
+    meta:
+        Execution metadata attached by the registry/runner — trial
+        accounting (run/cached/failed/retried counts, seconds per
+        trial) and wall-clock; feeds the run manifest.
     """
 
     experiment_id: str
@@ -75,6 +79,7 @@ class ExperimentResult:
     data: dict[str, Any] = field(default_factory=dict)
     notes: str = ""
     scale: str = "quick"
+    meta: dict[str, Any] = field(default_factory=dict)
 
     def render(self, digits: int = 3) -> str:
         out = format_table(

@@ -1,0 +1,190 @@
+"""Content-addressed cache of completed trials.
+
+Every table and figure in the paper is "the average of 100 trials", and
+trials are pure functions of ``(config, seed path)`` — so a finished
+:class:`~repro.sim.results.SimulationResult` never needs to be computed
+twice.  This module keys each trial by a SHA-256 over
+
+* the **canonical config** (every field of :class:`SimulationConfig`,
+  JSON-serialized with sorted keys),
+* the **trial seed path** (the root entropy and spawn key of the trial's
+  ``numpy.random.SeedSequence`` child — trial *i* of seed *s* is always
+  ``SeedSequence(s).spawn(n)[i]``), and
+* the **code-schema version** — :data:`CACHE_SCHEMA_VERSION` plus the
+  persistence format tag.  Bump :data:`CACHE_SCHEMA_VERSION` whenever a
+  change alters simulation semantics for an unchanged config (engine
+  behavior, RNG consumption order, result packaging); stale entries then
+  simply stop matching.
+
+Results are stored one JSON file per trial under
+``<cache root>/trials/<key[:2]>/<key>.json`` via
+:mod:`repro.sim.persistence`, written atomically (temp file + rename) so
+a SIGKILL mid-write never leaves a truncated entry.  The cache root is
+``~/.cache/repro`` (or ``$XDG_CACHE_HOME/repro``), overridable with
+``REPRO_CACHE_DIR``; set ``REPRO_CACHE=0`` to disable caching entirely.
+
+Because keys include the full seed path, an interrupted sweep resumes
+for free: re-running it hits the cache for every completed trial and
+computes only the missing ones, bit-identically (same seeds, same
+results).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.sim.persistence import (
+    RESULT_FORMAT,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.sim.results import SimulationResult
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "TrialCache",
+    "cache_enabled",
+    "default_cache_dir",
+    "get_cache",
+    "trial_key",
+]
+
+#: Bump when a code change makes identical configs produce different
+#: results (see module docstring); this invalidates every cached trial.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``,
+    else ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def cache_enabled() -> bool:
+    """Whether trial caching is on (``REPRO_CACHE=0`` turns it off)."""
+    return os.environ.get("REPRO_CACHE", "1").lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+def _canonical_config(config: SimulationConfig) -> str:
+    data = {}
+    for key, value in config.as_dict().items():
+        if isinstance(value, tuple):
+            value = list(value)
+        data[key] = value
+    return json.dumps(data, sort_keys=True, default=repr)
+
+
+def trial_key(
+    config: SimulationConfig, seed_seq: np.random.SeedSequence
+) -> str:
+    """Content address of one trial (hex SHA-256)."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "format": RESULT_FORMAT,
+            "config": _canonical_config(config),
+            "entropy": str(seed_seq.entropy),
+            "spawn_key": [int(k) for k in seed_seq.spawn_key],
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class TrialCache:
+    """File-backed store of completed trials, addressed by content key."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def trials_dir(self) -> Path:
+        return self.root / "trials"
+
+    def path_for(self, key: str) -> Path:
+        return self.trials_dir / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> SimulationResult | None:
+        """Return the cached result for ``key``, or None.
+
+        Unreadable or corrupted entries (e.g. a torn write from a kernel
+        crash) are treated as misses and removed.
+        """
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+            result = result_from_dict(data)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: SimulationResult) -> Path:
+        """Persist a result atomically (temp file + rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(result_to_dict(result, include_final_loads=True))
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    # -- maintenance ----------------------------------------------------
+    def entries(self) -> list[Path]:
+        if not self.trials_dir.is_dir():
+            return []
+        return sorted(self.trials_dir.glob("*/*.json"))
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Delete every cached trial; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+def get_cache() -> TrialCache | None:
+    """The default cache honoring the environment, or None if disabled."""
+    if not cache_enabled():
+        return None
+    return TrialCache()

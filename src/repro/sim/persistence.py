@@ -22,13 +22,24 @@ from repro.metrics.timeseries import TickSeries
 from repro.sim.results import SimulationResult, TrialSet
 
 __all__ = [
+    "RESULT_FORMAT",
+    "TRIALSET_FORMAT",
+    "SWEEP_FORMAT",
     "result_to_dict",
     "result_from_dict",
     "save_result",
     "load_result",
     "save_trialset",
     "load_trialset",
+    "save_sweep",
+    "load_sweep",
 ]
+
+#: On-disk format tags.  The trial cache folds :data:`RESULT_FORMAT`
+#: into its keys, so bumping a version here invalidates cached trials.
+RESULT_FORMAT = "repro.simulation_result.v1"
+TRIALSET_FORMAT = "repro.trialset.v1"
+SWEEP_FORMAT = "repro.sweep.v1"
 
 
 def _histogram_to_dict(hist: Histogram) -> dict:
@@ -74,7 +85,7 @@ def result_to_dict(
 ) -> dict[str, Any]:
     """JSON-safe dict capturing a result (and its exact config)."""
     payload: dict[str, Any] = {
-        "format": "repro.simulation_result.v1",
+        "format": RESULT_FORMAT,
         "config": result.config.as_dict(),
         "runtime_ticks": result.runtime_ticks,
         "ideal_ticks": result.ideal_ticks,
@@ -95,7 +106,7 @@ def result_to_dict(
 
 def result_from_dict(data: dict[str, Any]) -> SimulationResult:
     """Inverse of :func:`result_to_dict`."""
-    if data.get("format") != "repro.simulation_result.v1":
+    if data.get("format") != RESULT_FORMAT:
         raise ValueError(f"unknown result format {data.get('format')!r}")
     config_data = dict(data["config"])
     config_data["snapshot_ticks"] = tuple(config_data.get("snapshot_ticks", ()))
@@ -143,18 +154,21 @@ def load_result(path: str | Path) -> SimulationResult:
 def save_trialset(trials: TrialSet, path: str | Path) -> Path:
     """Persist a whole trial set (one JSON document)."""
     path = Path(path)
-    payload = {
-        "format": "repro.trialset.v1",
-        "config": trials.config.as_dict(),
-        "results": [result_to_dict(r) for r in trials.results],
-    }
+    payload = _trialset_to_dict(trials)
     path.write_text(json.dumps(payload))
     return path
 
 
-def load_trialset(path: str | Path) -> TrialSet:
-    data = json.loads(Path(path).read_text())
-    if data.get("format") != "repro.trialset.v1":
+def _trialset_to_dict(trials: TrialSet) -> dict[str, Any]:
+    return {
+        "format": TRIALSET_FORMAT,
+        "config": trials.config.as_dict(),
+        "results": [result_to_dict(r) for r in trials.results],
+    }
+
+
+def _trialset_from_dict(data: dict[str, Any]) -> TrialSet:
+    if data.get("format") != TRIALSET_FORMAT:
         raise ValueError(f"unknown trialset format {data.get('format')!r}")
     config_data = dict(data["config"])
     config_data["snapshot_ticks"] = tuple(config_data.get("snapshot_ticks", ()))
@@ -162,3 +176,30 @@ def load_trialset(path: str | Path) -> TrialSet:
         config=SimulationConfig(**config_data),
         results=[result_from_dict(r) for r in data["results"]],
     )
+
+
+def load_trialset(path: str | Path) -> TrialSet:
+    return _trialset_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_sweep(trialsets: list[TrialSet], path: str | Path) -> Path:
+    """Persist a parameter sweep (one TrialSet per point, one document).
+
+    The document is byte-deterministic for a given sweep: re-running the
+    same sweep (cached or not) and saving it again produces identical
+    bytes, which is what ``make sweep-resume-check`` asserts.
+    """
+    path = Path(path)
+    payload = {
+        "format": SWEEP_FORMAT,
+        "points": [_trialset_to_dict(ts) for ts in trialsets],
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_sweep(path: str | Path) -> list[TrialSet]:
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != SWEEP_FORMAT:
+        raise ValueError(f"unknown sweep format {data.get('format')!r}")
+    return [_trialset_from_dict(p) for p in data["points"]]

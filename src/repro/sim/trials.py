@@ -1,4 +1,4 @@
-"""Multi-trial execution with reproducible independent seeds.
+"""Multi-trial execution: reproducible seeds, fault tolerance, caching.
 
 Every table in the paper is "the average of 100 trials".  This module
 runs N independent trials of a configuration — optionally across
@@ -7,24 +7,62 @@ processes, since trials share nothing — and aggregates them into a
 
 Seeding: trial *i* of a config with seed *s* always uses the *i*-th child
 of ``SeedSequence(s)``, so results are bit-reproducible regardless of
-``n_jobs``.
+``n_jobs``, caching, retries, or interruption.
+
+Fault tolerance: trials are dispatched individually (not ``Pool.map``),
+so one crashed or raising worker cannot discard its finished siblings.
+Failed trials are retried in a fresh worker with the same seed up to
+``retries`` times; what still fails raises a structured
+:class:`~repro.errors.TrialError` naming each trial index and seed path.
+Completed results are persisted through :mod:`repro.sim.cache` as they
+arrive, so a killed run resumes at the first missing trial.
+
+Environment knobs
+-----------------
+``REPRO_N_JOBS``
+    Overrides :func:`default_n_jobs` (``n_jobs=0``) — pin worker counts
+    on CI or laptops.
+``REPRO_CACHE`` / ``REPRO_CACHE_DIR``
+    Disable / relocate the trial cache (see :mod:`repro.sim.cache`).
+``REPRO_TRIAL_DELAY_MS``
+    Testing hook: sleep this long inside each trial, so interruption
+    tests can reliably SIGKILL a run midway.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from typing import Sequence
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from hashlib import sha256
+from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TrialError
 from repro.config import SimulationConfig
+from repro.sim.cache import TrialCache, get_cache, trial_key
 from repro.sim.engine import TickEngine
 from repro.sim.results import SimulationResult, TrialSet
 from repro.util.rng import make_rng
 
-__all__ = ["run_trial", "run_trials", "default_n_jobs"]
+__all__ = [
+    "run_trial",
+    "run_trials",
+    "sweep",
+    "default_n_jobs",
+    "TrialFailure",
+    "RunStats",
+    "reset_run_stats",
+    "run_stats",
+]
+
+TrialFn = Callable[
+    [SimulationConfig, "np.random.SeedSequence | None"], SimulationResult
+]
 
 
 def run_trial(
@@ -36,23 +74,236 @@ def run_trial(
     return engine.run()
 
 
-def _trial_worker(
-    args: tuple[SimulationConfig, np.random.SeedSequence]
-) -> SimulationResult:
-    config, seed_seq = args
-    return run_trial(config, seed_seq)
-
-
 def default_n_jobs() -> int:
-    """A reasonable process count: physical cores, capped at 8."""
+    """A reasonable process count: logical CPUs, capped at 8.
+
+    ``os.cpu_count()`` reports *logical* CPUs (hyperthreads included);
+    trials are CPU-bound so more workers than that never helps.  Set
+    ``REPRO_N_JOBS`` to pin the count explicitly (CI, shared machines).
+    """
+    override = os.environ.get("REPRO_N_JOBS")
+    if override:
+        try:
+            n = int(override)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_N_JOBS must be an integer, got {override!r}"
+            ) from None
+        if n < 1:
+            raise ConfigError(f"REPRO_N_JOBS must be >= 1, got {n}")
+        return n
     return max(1, min(8, os.cpu_count() or 1))
 
 
+# ----------------------------------------------------------------------
+# failure records and run statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrialFailure:
+    """What went wrong with one trial, with enough context to replay it.
+
+    ``seed_entropy`` and ``spawn_key`` pin the exact
+    ``numpy.random.SeedSequence`` child, so
+    ``run_trial(config, SeedSequence(entropy, spawn_key=spawn_key))``
+    reproduces the failure deterministically.
+    """
+
+    trial_index: int
+    seed_entropy: int | None
+    spawn_key: tuple[int, ...]
+    attempts: int
+    error: str
+
+    def __str__(self) -> str:
+        return (
+            f"trial {self.trial_index} (entropy={self.seed_entropy}, "
+            f"spawn_key={self.spawn_key}) failed after "
+            f"{self.attempts} attempt(s): {self.error}"
+        )
+
+
+@dataclass
+class RunStats:
+    """Aggregate accounting of trial work since the last reset.
+
+    Accumulated by every :func:`run_trials` call into a module-level
+    collector so the CLI and the experiment report can surface
+    done/cached/failed counts and wall-clock per trial without threading
+    a stats object through every experiment signature.
+    """
+
+    trials_run: int = 0
+    trials_cached: int = 0
+    trials_failed: int = 0
+    retries: int = 0
+    trial_seconds: float = 0.0
+
+    @property
+    def trials_total(self) -> int:
+        return self.trials_run + self.trials_cached
+
+    @property
+    def avg_trial_seconds(self) -> float:
+        return self.trial_seconds / self.trials_run if self.trials_run else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "trials_run": self.trials_run,
+            "trials_cached": self.trials_cached,
+            "trials_failed": self.trials_failed,
+            "retries": self.retries,
+            "trial_seconds": round(self.trial_seconds, 4),
+            "avg_trial_seconds": round(self.avg_trial_seconds, 4),
+        }
+
+    def summary_line(self) -> str:
+        parts = [
+            f"{self.trials_total} trials",
+            f"{self.trials_cached} cached",
+            f"{self.trials_run} run",
+        ]
+        if self.retries:
+            parts.append(f"{self.retries} retried")
+        if self.trials_failed:
+            parts.append(f"{self.trials_failed} FAILED")
+        if self.trials_run:
+            parts.append(f"{self.avg_trial_seconds:.3f}s/trial")
+        return ", ".join(parts)
+
+
+_RUN_STATS = RunStats()
+
+
+def reset_run_stats() -> None:
+    """Zero the module-level collector (call before an experiment)."""
+    global _RUN_STATS
+    _RUN_STATS = RunStats()
+
+
+def run_stats() -> RunStats:
+    """Snapshot of the collector since the last reset."""
+    return replace(_RUN_STATS)
+
+
+# ----------------------------------------------------------------------
+# worker plumbing
+# ----------------------------------------------------------------------
+def _trial_worker(
+    args: tuple[TrialFn | None, SimulationConfig, int, np.random.SeedSequence]
+) -> tuple[int, str, object, float]:
+    """Run one trial in a worker; exceptions come back as data.
+
+    Returns ``(index, "ok", result, seconds)`` or
+    ``(index, "err", traceback_string, seconds)`` — a raising trial must
+    not take down the pool (or, pre-3.11 ``Pool.map``, its siblings).
+    """
+    trial_fn, config, index, seed_seq = args
+    delay_ms = os.environ.get("REPRO_TRIAL_DELAY_MS")
+    if delay_ms:
+        time.sleep(int(delay_ms) / 1000.0)
+    t0 = time.perf_counter()
+    try:
+        fn = trial_fn if trial_fn is not None else run_trial
+        result = fn(config, seed_seq)
+        return (index, "ok", result, time.perf_counter() - t0)
+    except BaseException:
+        return (
+            index,
+            "err",
+            traceback.format_exc(limit=20),
+            time.perf_counter() - t0,
+        )
+
+
+def _kill_workers(executor: ProcessPoolExecutor) -> None:
+    """Best-effort SIGKILL of a pool's workers (hung-trial recovery)."""
+    processes = getattr(executor, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except (OSError, AttributeError):
+            pass
+
+
+def _run_batch_serial(
+    config: SimulationConfig,
+    batch: list[tuple[int, np.random.SeedSequence]],
+    trial_fn: TrialFn | None,
+    on_done: Callable[[int, str, object, float], None],
+) -> None:
+    for index, seed_seq in batch:
+        on_done(*_trial_worker((trial_fn, config, index, seed_seq)))
+
+
+def _run_batch_parallel(
+    config: SimulationConfig,
+    batch: list[tuple[int, np.random.SeedSequence]],
+    n_jobs: int,
+    timeout: float | None,
+    trial_fn: TrialFn | None,
+    on_done: Callable[[int, str, object, float], None],
+) -> None:
+    """Dispatch one attempt of every trial in ``batch`` to a fresh pool.
+
+    Per-trial dispatch (``submit`` per trial, not ``map``) means a dead
+    worker only loses the trials it was actually running: completed
+    futures have already been consumed, and the broken-pool error is
+    attributed to the in-flight trials, which the caller retries.
+
+    ``timeout`` bounds the wait for the *next* completion; trials of one
+    config do comparable work, so a window with zero completions means
+    the in-flight workers are hung and they are killed and retried.
+    """
+    ctx = mp.get_context("spawn")
+    executor = ProcessPoolExecutor(
+        max_workers=min(n_jobs, len(batch)), mp_context=ctx
+    )
+    try:
+        futures = {
+            executor.submit(_trial_worker, (trial_fn, config, i, seq)): i
+            for i, seq in batch
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(
+                pending, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                for fut in pending:
+                    fut.cancel()
+                _kill_workers(executor)
+                for fut in pending:
+                    on_done(
+                        futures[fut],
+                        "err",
+                        f"trial timed out (no completion within "
+                        f"{timeout}s window)",
+                        float(timeout or 0.0),
+                    )
+                return
+            for fut in done:
+                index = futures[fut]
+                try:
+                    on_done(*fut.result())
+                except BaseException as exc:  # BrokenProcessPool, unpickle
+                    on_done(index, "err", f"worker died: {exc!r}", 0.0)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
 def run_trials(
     config: SimulationConfig,
     n_trials: int,
     *,
     n_jobs: int = 1,
+    cache: TrialCache | bool | None = None,
+    retries: int = 1,
+    timeout: float | None = None,
+    trial_fn: TrialFn | None = None,
+    progress: Callable[[dict], None] | None = None,
 ) -> TrialSet:
     """Run ``n_trials`` independent trials of ``config``.
 
@@ -64,24 +315,141 @@ def run_trials(
         Number of independent repetitions (the paper uses 100).
     n_jobs:
         Worker processes; 1 = in-process (deterministic *and* easier to
-        debug), 0 = :func:`default_n_jobs`.
+        debug), 0 = :func:`default_n_jobs` (honors ``REPRO_N_JOBS``).
+    cache:
+        ``None`` — use the default content-addressed cache (honors
+        ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``); ``False`` — disable;
+        ``True`` — force the default cache; or a
+        :class:`~repro.sim.cache.TrialCache` instance.  Seedless configs
+        (``seed=None``) are never cached.
+    retries:
+        Re-dispatches of a failed trial (fresh worker, same seed) before
+        giving up.
+    timeout:
+        Seconds to wait for the next trial completion before declaring
+        in-flight workers hung, killing them and retrying (parallel runs
+        only).
+    trial_fn:
+        Replacement for :func:`run_trial` ``(config, seed_seq) ->
+        SimulationResult`` — must be picklable for ``n_jobs > 1``.  Used
+        by fault-injection tests and custom engines.
+    progress:
+        Optional callback receiving one dict per settled trial:
+        ``{"trial": i, "status": "cached"|"ok"|"err", "seconds": s}``.
+
+    Raises
+    ------
+    TrialError
+        When any trial still fails after ``retries`` re-dispatches.  The
+        exception lists every failure's trial index and seed path;
+        completed siblings are already in the cache, so a re-run redoes
+        only the failed trials.
     """
     if n_trials < 1:
         raise ConfigError(f"n_trials must be >= 1, got {n_trials}")
+    if retries < 0:
+        raise ConfigError(f"retries must be >= 0, got {retries}")
     root = np.random.SeedSequence(config.seed)
     children = root.spawn(n_trials)
 
+    if cache is None or cache is True:
+        cache_obj = get_cache() if (cache or config.seed is not None) else None
+    elif cache is False:
+        cache_obj = None
+    else:
+        cache_obj = cache
+    if config.seed is None:
+        # Fresh entropy every run: keys would never match again.
+        cache_obj = None
+
     if n_jobs == 0:
         n_jobs = default_n_jobs()
-    if n_jobs > 1 and n_trials > 1:
-        ctx = mp.get_context("spawn")
-        with ctx.Pool(min(n_jobs, n_trials)) as pool:
-            results = pool.map(
-                _trial_worker, [(config, child) for child in children]
+
+    stats = _RUN_STATS
+    results: dict[int, SimulationResult] = {}
+    keys: dict[int, str] = {}
+
+    pending: list[int] = []
+    for i, child in enumerate(children):
+        if cache_obj is not None:
+            keys[i] = trial_key(config, child)
+            cached = cache_obj.load(keys[i])
+            if cached is not None:
+                results[i] = cached
+                stats.trials_cached += 1
+                if progress is not None:
+                    progress({"trial": i, "status": "cached", "seconds": 0.0})
+                continue
+        pending.append(i)
+
+    attempts: dict[int, int] = {i: 0 for i in pending}
+    last_error: dict[int, str] = {}
+
+    def on_done(index: int, status: str, payload: object, seconds: float):
+        attempts[index] += 1
+        if status == "ok":
+            assert isinstance(payload, SimulationResult)
+            results[index] = payload
+            stats.trials_run += 1
+            stats.trial_seconds += seconds
+            if cache_obj is not None:
+                cache_obj.store(keys[index], payload)
+        else:
+            last_error[index] = str(payload)
+        if progress is not None:
+            progress({"trial": index, "status": status, "seconds": seconds})
+
+    attempt = 0
+    while pending:
+        batch = [(i, children[i]) for i in pending]
+        if n_jobs > 1 and len(batch) > 1:
+            _run_batch_parallel(
+                config, batch, n_jobs, timeout, trial_fn, on_done
             )
-    else:
-        results = [run_trial(config, child) for child in children]
-    return TrialSet(config=config, results=list(results))
+        else:
+            _run_batch_serial(config, batch, trial_fn, on_done)
+        pending = sorted(i for i in pending if i not in results)
+        if not pending:
+            break
+        attempt += 1
+        if attempt > retries:
+            break
+        stats.retries += len(pending)
+
+    if pending:
+        stats.trials_failed += len(pending)
+        failures = tuple(
+            TrialFailure(
+                trial_index=i,
+                seed_entropy=children[i].entropy,
+                spawn_key=tuple(int(k) for k in children[i].spawn_key),
+                attempts=attempts[i],
+                error=last_error.get(i, "unknown error"),
+            )
+            for i in pending
+        )
+        lines = "\n".join(f"  - {f}" for f in failures)
+        raise TrialError(
+            f"{len(failures)}/{n_trials} trial(s) failed after "
+            f"{retries} retr{'y' if retries == 1 else 'ies'} "
+            f"({len(results)} completed and preserved):\n{lines}",
+            failures=failures,
+            n_completed=len(results),
+        )
+
+    return TrialSet(config=config, results=[results[i] for i in range(n_trials)])
+
+
+def _point_seed(root_seed: int, fld: str, value: object) -> int:
+    """Deterministic 63-bit seed for one sweep point.
+
+    Derived from ``(root seed, field name, value)`` with SHA-256 (not
+    Python's salted ``hash``), so sweeps are reproducible across runs
+    and machines while trials at different points draw decorrelated
+    streams.
+    """
+    payload = f"{root_seed}|{fld}|{value!r}".encode()
+    return int.from_bytes(sha256(payload).digest()[:8], "little") >> 1
 
 
 def sweep(
@@ -91,9 +459,43 @@ def sweep(
     n_trials: int,
     *,
     n_jobs: int = 1,
+    common_random_numbers: bool = False,
+    cache: TrialCache | bool | None = None,
+    retries: int = 1,
+    timeout: float | None = None,
+    progress: Callable[[dict], None] | None = None,
 ) -> list[TrialSet]:
-    """Run a one-dimensional parameter sweep (a row or column of a table)."""
-    return [
-        run_trials(base.with_updates(**{field: v}), n_trials, n_jobs=n_jobs)
-        for v in values
-    ]
+    """Run a one-dimensional parameter sweep (a row or column of a table).
+
+    Each sweep point gets its own seed, derived from ``(base.seed,
+    field, value)`` — historically every point reused ``base.seed``
+    verbatim, which silently ran *identical* trial seed streams at every
+    parameter value (common random numbers).  CRN is a legitimate
+    variance-reduction design, but it must be a choice, not an accident:
+    pass ``common_random_numbers=True`` to opt back in.
+
+    Completion is recorded per trial in the content-addressed cache, so
+    an interrupted sweep re-run resumes at the first missing trial and
+    the merged result is bit-identical to an uninterrupted run.
+    """
+    out: list[TrialSet] = []
+    for v in values:
+        point = base.with_updates(**{field: v})
+        if (
+            not common_random_numbers
+            and field != "seed"
+            and base.seed is not None
+        ):
+            point = point.with_updates(seed=_point_seed(base.seed, field, v))
+        out.append(
+            run_trials(
+                point,
+                n_trials,
+                n_jobs=n_jobs,
+                cache=cache,
+                retries=retries,
+                timeout=timeout,
+                progress=progress,
+            )
+        )
+    return out

@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.config import SimulationConfig
 from repro.hashspace.idspace import IdSpace
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trial_cache(tmp_path_factory):
+    """Keep the suite's trial cache out of the user's ~/.cache/repro.
+
+    Session-scoped so it also covers class-scoped fixtures; tests that
+    assert hit/miss counts pin their own directory with ``monkeypatch``
+    or pass an explicit ``TrialCache``.
+    """
+    cache_dir = tmp_path_factory.mktemp("trial-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
 
 
 @pytest.fixture

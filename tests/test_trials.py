@@ -1,11 +1,58 @@
-"""Tests for multi-trial execution and seed management."""
+"""Tests for multi-trial execution, fault tolerance and seed management."""
+
+import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.config import SimulationConfig
-from repro.errors import ConfigError
-from repro.sim.trials import run_trials, sweep
+from repro.errors import ConfigError, TrialError
+from repro.sim.trials import (
+    default_n_jobs,
+    reset_run_stats,
+    run_stats,
+    run_trial,
+    run_trials,
+    sweep,
+)
+
+
+# ----------------------------------------------------------------------
+# fault-injection trial functions — module level so "spawn" workers can
+# unpickle them; failure state crosses processes via environment/files.
+# ----------------------------------------------------------------------
+def _failing_trial(config, seed_seq):
+    """Trial 1 always raises; the others run normally."""
+    if seed_seq.spawn_key[-1] == 1:
+        raise RuntimeError("injected failure")
+    return run_trial(config, seed_seq)
+
+
+def _flaky_trial(config, seed_seq):
+    """Trial 1 fails on its first attempt only (marker file = retried)."""
+    index = seed_seq.spawn_key[-1]
+    marker = os.path.join(os.environ["REPRO_TEST_FLAKY_DIR"], f"t{index}")
+    if index == 1 and not os.path.exists(marker):
+        open(marker, "w").close()
+        raise RuntimeError("transient failure")
+    return run_trial(config, seed_seq)
+
+
+def _crashing_trial(config, seed_seq):
+    """Trial 2 hard-kills its worker on the first attempt (no traceback,
+    no cleanup — the way a segfault or OOM kill looks to the pool)."""
+    index = seed_seq.spawn_key[-1]
+    marker = os.path.join(os.environ["REPRO_TEST_FLAKY_DIR"], f"c{index}")
+    if index == 2 and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(17)
+    return run_trial(config, seed_seq)
+
+
+def _hanging_trial(config, seed_seq):
+    time.sleep(600)
+    return run_trial(config, seed_seq)  # pragma: no cover
 
 
 class TestReproducibility:
@@ -26,9 +73,104 @@ class TestReproducibility:
 
 class TestParallelism:
     def test_parallel_equals_serial(self, tiny_config):
-        serial = run_trials(tiny_config, 4, n_jobs=1)
-        parallel = run_trials(tiny_config, 4, n_jobs=2)
+        serial = run_trials(tiny_config, 4, n_jobs=1, cache=False)
+        parallel = run_trials(tiny_config, 4, n_jobs=2, cache=False)
         assert np.array_equal(serial.factors, parallel.factors)
+
+    def test_default_n_jobs_counts_logical_cpus(self):
+        assert 1 <= default_n_jobs() <= 8
+
+    def test_repro_n_jobs_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "3")
+        assert default_n_jobs() == 3
+
+    def test_repro_n_jobs_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "zero")
+        with pytest.raises(ConfigError):
+            default_n_jobs()
+        monkeypatch.setenv("REPRO_N_JOBS", "0")
+        with pytest.raises(ConfigError):
+            default_n_jobs()
+
+
+class TestFaultTolerance:
+    def test_failure_is_structured(self, tiny_config):
+        with pytest.raises(TrialError) as excinfo:
+            run_trials(
+                tiny_config, 3, trial_fn=_failing_trial, retries=0,
+                cache=False,
+            )
+        err = excinfo.value
+        assert len(err.failures) == 1
+        failure = err.failures[0]
+        assert failure.trial_index == 1
+        assert failure.spawn_key == (1,)
+        assert failure.seed_entropy == tiny_config.seed
+        assert failure.attempts == 1
+        assert "injected failure" in failure.error
+        assert err.n_completed == 2  # siblings were not thrown away
+        assert "trial 1" in str(err)
+
+    def test_completed_siblings_are_cached(self, tiny_config, tmp_path):
+        from repro.sim.cache import TrialCache
+
+        cache = TrialCache(tmp_path)
+        with pytest.raises(TrialError):
+            run_trials(
+                tiny_config, 4, trial_fn=_failing_trial, retries=1,
+                cache=cache,
+            )
+        assert cache.stores == 3  # all non-failing trials preserved
+
+    def test_retry_recovers_transient_failure(
+        self, tiny_config, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TEST_FLAKY_DIR", str(tmp_path))
+        reset_run_stats()
+        recovered = run_trials(
+            tiny_config, 3, trial_fn=_flaky_trial, retries=1, cache=False
+        )
+        plain = run_trials(tiny_config, 3, cache=False)
+        assert np.array_equal(recovered.factors, plain.factors)
+        assert run_stats().retries == 1
+
+    def test_retries_exhausted(self, tiny_config):
+        with pytest.raises(TrialError) as excinfo:
+            run_trials(
+                tiny_config, 3, trial_fn=_failing_trial, retries=2,
+                cache=False,
+            )
+        assert excinfo.value.failures[0].attempts == 3
+
+    def test_progress_callback(self, tiny_config):
+        events = []
+        run_trials(tiny_config, 3, cache=False, progress=events.append)
+        assert [e["trial"] for e in events] == [0, 1, 2]
+        assert all(e["status"] == "ok" for e in events)
+
+    @pytest.mark.slow
+    def test_worker_crash_keeps_siblings(
+        self, tiny_config, tmp_path, monkeypatch
+    ):
+        """A hard worker death (os._exit) loses only the in-flight
+        trials; one retry in a fresh pool completes the set with results
+        bit-identical to a serial run."""
+        monkeypatch.setenv("REPRO_TEST_FLAKY_DIR", str(tmp_path))
+        recovered = run_trials(
+            tiny_config, 4, n_jobs=2, trial_fn=_crashing_trial, retries=2,
+            cache=False,
+        )
+        serial = run_trials(tiny_config, 4, cache=False)
+        assert np.array_equal(recovered.factors, serial.factors)
+
+    @pytest.mark.slow
+    def test_hung_workers_time_out(self, tiny_config):
+        with pytest.raises(TrialError) as excinfo:
+            run_trials(
+                tiny_config, 2, n_jobs=2, trial_fn=_hanging_trial,
+                retries=0, timeout=3.0, cache=False,
+            )
+        assert all("timed out" in f.error for f in excinfo.value.failures)
 
 
 class TestAggregation:
@@ -49,6 +191,24 @@ class TestAggregation:
         with pytest.raises(ConfigError):
             run_trials(tiny_config, 0)
 
+    def test_negative_retries_rejected(self, tiny_config):
+        with pytest.raises(ConfigError):
+            run_trials(tiny_config, 1, retries=-1)
+
+    def test_run_stats_accounting(self, tiny_config, tmp_path):
+        from repro.sim.cache import TrialCache
+
+        cache = TrialCache(tmp_path)
+        reset_run_stats()
+        run_trials(tiny_config, 3, cache=cache)
+        run_trials(tiny_config, 3, cache=cache)
+        stats = run_stats()
+        assert stats.trials_run == 3
+        assert stats.trials_cached == 3
+        assert stats.trials_total == 6
+        assert stats.trial_seconds > 0
+        assert "3 cached" in stats.summary_line()
+
 
 class TestSweep:
     def test_sweep_varies_field(self, tiny_config):
@@ -56,3 +216,31 @@ class TestSweep:
         assert sets[0].config.n_tasks == 300
         assert sets[1].config.n_tasks == 600
         assert all(ts.n_trials == 2 for ts in sets)
+
+    def test_sweep_points_are_decorrelated(self, tiny_config):
+        """Regression: sweep points used to reuse the identical trial
+        seed streams (with_updates preserves `seed`), silently running
+        common random numbers at every parameter value.  A field that
+        does not affect the dynamics exposes this directly."""
+        sets = sweep(tiny_config, "max_ticks", [10**6, 2 * 10**6], 3)
+        assert sets[0].config.seed != sets[1].config.seed
+        assert not np.array_equal(sets[0].factors, sets[1].factors)
+
+    def test_sweep_crn_opt_in(self, tiny_config):
+        sets = sweep(
+            tiny_config, "max_ticks", [10**6, 2 * 10**6], 3,
+            common_random_numbers=True,
+        )
+        assert sets[0].config.seed == sets[1].config.seed == tiny_config.seed
+        assert np.array_equal(sets[0].factors, sets[1].factors)
+
+    def test_sweep_seeds_reproducible(self, tiny_config):
+        a = sweep(tiny_config, "churn_rate", [0.0, 0.01], 2)
+        b = sweep(tiny_config, "churn_rate", [0.0, 0.01], 2)
+        for x, y in zip(a, b):
+            assert x.config.seed == y.config.seed
+            assert np.array_equal(x.factors, y.factors)
+
+    def test_sweep_over_seed_field(self, tiny_config):
+        sets = sweep(tiny_config, "seed", [1, 2], 2)
+        assert [ts.config.seed for ts in sets] == [1, 2]
