@@ -303,9 +303,25 @@ class ProtocolSimulation:
         self.ring = ChordRing(
             self.space, n_successors=config.num_successors, seed=config.seed
         )
+        # the replication clamp applies from the first replicate() on;
+        # message loss and delayed detection are armed only after the
+        # ring is built (a lossy bootstrap is a different experiment)
+        failures = config.failures
+        self.ring.network.replication_factor = failures.replication_factor
         self._owner_of: dict[int, int] = {}
         self.hosts: list[_Host] = []
         self._build(converge_rounds)
+        if failures.message_loss_rate > 0 or failures.crash_detection_ticks > 0:
+            self.ring.network.configure_faults(
+                loss_rate=failures.message_loss_rate,
+                seed=(
+                    None
+                    if config.seed is None
+                    else (int(config.seed) << 8) ^ 0xFA17
+                ),
+                crash_detection_ticks=failures.crash_detection_ticks,
+                replication_factor=failures.replication_factor,
+            )
 
         # churn: the waiting pool starts at network size (§IV-A)
         self._initial_hosts = len(self.hosts)
@@ -336,11 +352,14 @@ class ProtocolSimulation:
         self.view = ProtocolView(self)
         self.strategy.on_attach(self.view)
         self.tick = 0
+        self.total_consumed = 0
         self.counters: dict[str, int] = {
             "decision_rounds": 0,
             "churn_joins": 0,
             "churn_leaves": 0,
         }
+        if failures.crash_fraction > 0:
+            self.counters["crashes"] = 0
 
     # ------------------------------------------------------------------
     def _build(self, converge_rounds: int) -> None:
@@ -433,12 +452,22 @@ class ProtocolSimulation:
             self.counters["decision_rounds"] += 1
         if cfg.churn_rate > 0:
             self._apply_churn()
+        self.ring.network.tick()
         self.ring.maintenance_round()
-        return self._consume()
+        consumed = self._consume()
+        self.total_consumed += consumed
+        return consumed
 
     def _apply_churn(self) -> None:
-        """Graceful protocol churn mirroring the tick engine (§IV-A)."""
+        """Protocol churn mirroring the tick engine (§IV-A).
+
+        With ``failures.crash_fraction > 0``, that fraction of
+        departures are crash-stop: no replica sync, no hand-off, no
+        goodbye — the node simply dies (with delayed detection if
+        configured), and its un-replicated primaries die with it.
+        """
         rate = self.config.churn_rate
+        crash_fraction = self.config.failures.crash_fraction
         in_net = [h for h in self.hosts if h.in_network]
         waiting = [h for h in self.hosts if not h.in_network]
         # departures (keep at least 2 live nodes so the ring survives)
@@ -446,6 +475,18 @@ class ProtocolSimulation:
             if len(self.ring.network) <= 2:
                 break
             if self.rng.random() >= rate:
+                continue
+            if crash_fraction > 0 and self.rng.random() < crash_fraction:
+                for sid in list(host.sybil_ids):
+                    self.ring.network.crash(sid)
+                    self.forget_owner(sid)
+                host.sybil_ids.clear()
+                self.ring.network.crash(host.main_id)
+                self.forget_owner(host.main_id)
+                host.in_network = False
+                host.main_id = -1
+                self.counters["churn_leaves"] += 1
+                self.counters["crashes"] += 1
                 continue
             for sid in list(host.sybil_ids):
                 self.ring.leave_node(sid)
@@ -511,16 +552,55 @@ class ProtocolSimulation:
         return consumed
 
     def run(self, max_ticks: int | None = None) -> dict:
-        """Run to completion; returns a summary dict."""
+        """Run to completion; returns a summary dict.
+
+        With failure injection, a run can end with work destroyed
+        (``termination_reason="data_loss"``): crashed nodes took
+        un-replicated keys with them, so the visible workload drains
+        before every submitted task ran.  Keys that survived as
+        replicas get a short grace window of maintenance-only ticks to
+        be promoted and counted before the run is declared over.
+        """
         cap = max_ticks if max_ticks is not None else self.config.max_ticks
-        while self.remaining() > 0 and self.tick < cap:
-            self.step()
+        n_tasks = self.config.n_tasks
+        grace = max(6, self.config.num_successors + 2)
+        while self.tick < cap:
+            if self.remaining() > 0:
+                self.step()
+                continue
+            if self.total_consumed >= n_tasks:
+                break
+            # tasks are missing: they are either truly lost or sitting
+            # as un-promoted replicas on a crashed node's successor
+            recovered = False
+            for _ in range(grace):
+                if self.tick >= cap:
+                    break
+                self.step()
+                if self.remaining() > 0:
+                    recovered = True
+                    break
+            if not recovered:
+                break
+        remaining = self.remaining()
+        lost = max(0, n_tasks - self.total_consumed - remaining)
+        if remaining == 0 and lost == 0:
+            reason = None
+        elif remaining == 0:
+            reason = "data_loss"
+        else:
+            reason = "max_ticks"
+        net = self.ring.network
         return {
             **self.counters,
             "runtime_ticks": self.tick,
             "ideal_ticks": self.ideal_ticks,
             "runtime_factor": self.tick / self.ideal_ticks,
-            "completed": self.remaining() == 0,
+            "completed": remaining == 0 and lost == 0,
+            "termination_reason": reason,
+            "total_consumed": self.total_consumed,
+            "tasks_lost": lost,
             "strategy_messages": self.counters.get("messages", 0),
-            "network_messages": self.ring.network.total_messages(),
+            "network_messages": net.total_messages(),
+            **{f"network_{k}": v for k, v in net.fault_stats().items()},
         }

@@ -14,6 +14,26 @@ through :class:`SimNetwork.rpc`, which
 The fabric is synchronous and deterministic: latency is modelled by hop
 counts, not wall-clock time, matching the paper's tick abstraction where
 "a tick is enough time to accomplish at least one maintenance cycle".
+
+Fault plane
+-----------
+Beyond the original one-shot :meth:`~SimNetwork.drop_next_rpc_to`, the
+fabric carries a seeded probabilistic fault model (all default-off):
+
+* a **global loss rate** and **per-link loss rates** — each RPC is
+  dropped with the link's rate (falling back to the global one),
+  raising :class:`~repro.errors.TransientNetworkError`;
+* **crash-stop with delayed detection** — :meth:`crash` kills a node
+  abruptly; for ``crash_detection_ticks`` of the network's logical
+  clock, :meth:`is_alive` (the cheap oracle peers consult) still
+  reports it alive while actual RPCs to it fail, modelling the window
+  before timeouts refute a stale view;
+* **bounded transparent retries** — :meth:`rpc_retry` re-sends on
+  transient drops only (each resend counts as a message and a retry),
+  never on dead endpoints.
+
+``drops`` / ``retries`` / ``fallbacks`` counters join the per-method
+message accounting (see :meth:`fault_stats`).
 """
 
 from __future__ import annotations
@@ -21,7 +41,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, TransientNetworkError
+from repro.util.rng import make_rng
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.chord.node import ChordNode
@@ -37,6 +58,24 @@ class SimNetwork:
         self.messages = Counter()
         #: ids whose next incoming RPC should fail once (fault injection)
         self._drop_once: set[int] = set()
+        # -- probabilistic fault plane (inert by default) ---------------
+        #: probability that any RPC is dropped in transit
+        self.loss_rate = 0.0
+        #: per-target loss rates overriding the global one
+        self._link_loss: dict[int, float] = {}
+        self._fault_rng = None
+        #: how long a crashed node still looks alive to :meth:`is_alive`
+        self.crash_detection_ticks = 0
+        #: successor backups kept by each node (None == full list)
+        self.replication_factor: int | None = None
+        #: transparent resends :meth:`rpc_retry` may spend per call
+        self.transient_retries = 2
+        #: logical clock (advanced by the driving simulation's ticks)
+        self.clock = 0
+        self._crashed_at: dict[int, int] = {}
+        self.drops = 0
+        self.retries = 0
+        self.fallbacks = 0
 
     # ------------------------------------------------------------------
     # membership
@@ -45,6 +84,7 @@ class SimNetwork:
         if node.id in self._nodes and self._nodes[node.id].alive:
             raise ProtocolError(f"id {node.id} already registered and alive")
         self._nodes[node.id] = node
+        self._crashed_at.pop(node.id, None)
 
     def deregister(self, node_id: int) -> None:
         self._nodes.pop(node_id, None)
@@ -60,8 +100,24 @@ class SimNetwork:
         return node_id in self._nodes
 
     def is_alive(self, node_id: int) -> bool:
+        """Cheap liveness oracle peers consult between probes.
+
+        A crash-stop node keeps *appearing* alive here for
+        ``crash_detection_ticks`` after :meth:`crash` — the stale view a
+        real peer holds until its timeouts refute it.  Actual RPCs to
+        the node fail throughout.
+        """
         node = self._nodes.get(node_id)
-        return node is not None and node.alive
+        if node is None:
+            return False
+        if node.alive:
+            return True
+        crashed = self._crashed_at.get(node_id)
+        if crashed is not None:
+            if self.clock - crashed < self.crash_detection_ticks:
+                return True
+            del self._crashed_at[node_id]
+        return False
 
     def alive_ids(self) -> list[int]:
         return sorted(i for i, n in self._nodes.items() if n.alive)
@@ -80,24 +136,110 @@ class SimNetwork:
         """Make the next RPC to ``node_id`` fail once (transient fault)."""
         self._drop_once.add(node_id)
 
+    def configure_faults(
+        self,
+        *,
+        loss_rate: float = 0.0,
+        seed=None,
+        crash_detection_ticks: int = 0,
+        replication_factor: int | None = None,
+        transient_retries: int | None = None,
+    ) -> None:
+        """Arm the probabilistic fault plane (seeded for determinism)."""
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ProtocolError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        self.loss_rate = loss_rate
+        self.crash_detection_ticks = crash_detection_ticks
+        self.replication_factor = replication_factor
+        if transient_retries is not None:
+            self.transient_retries = transient_retries
+        if loss_rate > 0 or self._link_loss:
+            self._fault_rng = make_rng(seed)
+
+    def set_link_loss(self, node_id: int, rate: float) -> None:
+        """Per-link drop rate for RPCs *to* ``node_id`` (overrides the
+        global ``loss_rate``; 0 restores the global behaviour)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ProtocolError(f"link loss rate must be in [0, 1], got {rate}")
+        if rate <= 0.0:
+            self._link_loss.pop(node_id, None)
+            return
+        self._link_loss[node_id] = rate
+        if self._fault_rng is None:
+            self._fault_rng = make_rng(None)
+
+    def crash(self, node_id: int) -> None:
+        """Crash-stop ``node_id``: no goodbye, no hand-off.
+
+        The node stays registered as a corpse so :meth:`is_alive` can
+        keep up the pretence for ``crash_detection_ticks``.
+        """
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise ProtocolError(f"cannot crash unknown id {node_id}")
+        node.fail()
+        if self.crash_detection_ticks > 0:
+            self._crashed_at[node_id] = self.clock
+
+    def tick(self) -> None:
+        """Advance the logical clock (drives crash-detection aging)."""
+        self.clock += 1
+
     # ------------------------------------------------------------------
     # the wire
     # ------------------------------------------------------------------
     def rpc(self, target_id: int, method: str, *args: Any, **kwargs: Any) -> Any:
         """Invoke ``method`` on the node that owns ``target_id``.
 
-        Raises :class:`ProtocolError` when the target is missing, dead,
-        or a transient drop was injected — callers interpret this as a
-        detected failure.
+        Raises :class:`TransientNetworkError` for an in-transit drop
+        (one-shot or probabilistic) and :class:`ProtocolError` when the
+        target is missing or dead — callers interpret either as a
+        detected failure, but only the former is worth retrying.
         """
         self.messages[method] += 1
         if target_id in self._drop_once:
             self._drop_once.discard(target_id)
-            raise ProtocolError(f"rpc {method} to {target_id} dropped")
+            self.drops += 1
+            raise TransientNetworkError(
+                f"rpc {method} to {target_id} dropped"
+            )
+        rate = self._link_loss.get(target_id, self.loss_rate)
+        if (
+            rate > 0.0
+            and self._fault_rng is not None
+            and self._fault_rng.random() < rate
+        ):
+            self.drops += 1
+            raise TransientNetworkError(
+                f"rpc {method} to {target_id} lost in transit"
+            )
         node = self._nodes.get(target_id)
         if node is None or not node.alive:
-            raise ProtocolError(f"rpc {method} to dead/unknown id {target_id}")
+            err = ProtocolError(
+                f"rpc {method} to dead/unknown id {target_id}"
+            )
+            err.transport_failure = True
+            raise err
         return getattr(node, method)(*args, **kwargs)
+
+    def rpc_retry(
+        self, target_id: int, method: str, *args: Any, **kwargs: Any
+    ) -> Any:
+        """Like :meth:`rpc`, but re-send after transient drops.
+
+        Spends at most ``transient_retries`` resends; each one counts a
+        message (it is one) and a retry.  Dead/unknown endpoints are
+        not retried — a timeout there is a detection, not noise.
+        """
+        attempts = self.transient_retries
+        while True:
+            try:
+                return self.rpc(target_id, method, *args, **kwargs)
+            except TransientNetworkError:
+                if attempts <= 0:
+                    raise
+                attempts -= 1
+                self.retries += 1
 
     # ------------------------------------------------------------------
     def total_messages(self) -> int:
@@ -105,3 +247,11 @@ class SimNetwork:
 
     def reset_messages(self) -> None:
         self.messages.clear()
+
+    def fault_stats(self) -> dict[str, int]:
+        """Fault-plane accounting alongside the message counts."""
+        return {
+            "drops": self.drops,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+        }

@@ -67,6 +67,10 @@ class ChordNode:
         self.fingers = FingerTable(node_id, space)
         self.store = NodeStore(space)
         self._next_finger = 0
+        # lossy-transport aware send: transparently re-sends after
+        # injected drops (bounded by the network's transient_retries);
+        # identical to network.rpc on a loss-free fabric
+        self._rpc = network.rpc_retry
 
     # ------------------------------------------------------------------
     # dunder / convenience
@@ -131,13 +135,22 @@ class ChordNode:
             self.replicate()
             items = self.store.primary_items()
             if items:
-                self.network.rpc(
-                    self.successor, "rpc_receive_primaries", items
-                )
+                # the successor pointer can be stale under crash-stop
+                # churn; walk the successor list until one handoff
+                # lands.  If every successor is unreachable the items
+                # stay behind as replicas — promotion recovers them.
+                for sid in self.successor_list:
+                    if sid == self.id:
+                        continue
+                    try:
+                        self._rpc(sid, "rpc_receive_primaries", items)
+                        break
+                    except ProtocolError:
+                        continue
             # link predecessor and successor to each other
             if self.predecessor is not None:
                 try:
-                    self.network.rpc(
+                    self._rpc(
                         self.successor, "rpc_notify", self.predecessor
                     )
                 except ProtocolError:
@@ -146,7 +159,7 @@ class ChordNode:
                 # burst of graceful leaves cannot strand it behind a wall
                 # of dead entries before its next stabilize cycle
                 try:
-                    self.network.rpc(
+                    self._rpc(
                         self.predecessor,
                         "rpc_replace_successor",
                         self.id,
@@ -203,13 +216,13 @@ class ChordNode:
         if nxt == self.id:
             return self._first_live_of(self.successor_list, hops)
         try:
-            return self.network.rpc(
+            return self._rpc(
                 nxt, "rpc_forward_lookup", key, hops + 1
             )
         except ProtocolError:
             self.fingers.clear_entry(nxt)
             if succ != self.id and succ != nxt:
-                return self.network.rpc(
+                return self._rpc(
                     succ, "rpc_forward_lookup", key, hops + 1
                 )
             raise
@@ -226,7 +239,7 @@ class ChordNode:
             if sid == self.id:
                 return sid, hops
             try:
-                self.network.rpc(sid, "rpc_ping")
+                self._rpc(sid, "rpc_ping")
                 return sid, hops
             except ProtocolError:
                 continue
@@ -263,7 +276,7 @@ class ChordNode:
             if current == self.id:
                 nxt = self.rpc_closest_preceding(key)
             else:
-                nxt = self.network.rpc(current, "rpc_closest_preceding", key)
+                nxt = self._rpc(current, "rpc_closest_preceding", key)
             if nxt == current or nxt in avoid:
                 nxt = succ  # linear fallback keeps the lookup moving
             if nxt == current:
@@ -286,19 +299,19 @@ class ChordNode:
             return self.id
         if start_id not in avoid and start_id != stuck:
             try:
-                self.network.rpc(start_id, "rpc_ping")
+                self._rpc(start_id, "rpc_ping")
                 return start_id
             except ProtocolError:
                 avoid.add(start_id)
         try:
-            contacts = self.network.rpc(stuck, "rpc_known_contacts")
+            contacts = self._rpc(stuck, "rpc_known_contacts")
         except ProtocolError:
             return None
         for cid in contacts:
             if cid in avoid or cid == stuck:
                 continue
             try:
-                self.network.rpc(cid, "rpc_ping")
+                self._rpc(cid, "rpc_ping")
                 return cid
             except ProtocolError:
                 avoid.add(cid)
@@ -310,14 +323,14 @@ class ChordNode:
         if node_id == self.id:
             candidates = list(self.successor_list)
         else:
-            candidates = self.network.rpc(node_id, "rpc_get_successor_list")
+            candidates = self._rpc(node_id, "rpc_get_successor_list")
         for sid in candidates:
             if sid in avoid:
                 continue
             if sid == node_id:
                 return sid
             try:  # liveness is only knowable by talking to the node
-                self.network.rpc(sid, "rpc_ping")
+                self._rpc(sid, "rpc_ping")
                 return sid
             except ProtocolError:
                 avoid.add(sid)
@@ -331,21 +344,60 @@ class ChordNode:
     def put(self, key: int, value: Any) -> tuple[int, int]:
         """Store ``value`` at the node responsible for ``key``.
 
-        Returns ``(holder_id, hops)``.
+        Returns ``(holder_id, hops)``.  If the resolved holder proves
+        unreachable (crashed mid-operation, or the send was dropped
+        beyond the retry budget), the lookup is re-run — it routes
+        around the corpse via the successor list — and the store is
+        retried once at the surviving holder.
         """
         holder, hops = self.find_successor(key)
-        if holder == self.id:
-            self.rpc_store(key, value)
-        else:
-            self.network.rpc(holder, "rpc_store", key, value)
-        return holder, hops
+        try:
+            if holder == self.id:
+                self.rpc_store(key, value)
+            else:
+                self._rpc(holder, "rpc_store", key, value)
+            return holder, hops
+        except ProtocolError as exc:
+            holder, extra = self._holder_fallback(exc, key, holder)
+            if holder == self.id:
+                self.rpc_store(key, value)
+            else:
+                self._rpc(holder, "rpc_store", key, value)
+            return holder, hops + extra
 
     def get(self, key: int) -> tuple[Any, int]:
-        """Fetch the value for ``key``; returns ``(value, hops)``."""
+        """Fetch the value for ``key``; returns ``(value, hops)``.
+
+        Same successor-fallback as :meth:`put`: an unreachable holder
+        triggers one re-resolution against the live ring (the crashed
+        holder's successor has the replicas and will answer)."""
         holder, hops = self.find_successor(key)
-        if holder == self.id:
-            return self.rpc_fetch(key), hops
-        return self.network.rpc(holder, "rpc_fetch", key), hops
+        try:
+            if holder == self.id:
+                return self.rpc_fetch(key), hops
+            return self._rpc(holder, "rpc_fetch", key), hops
+        except ProtocolError as exc:
+            holder, extra = self._holder_fallback(exc, key, holder)
+            if holder == self.id:
+                return self.rpc_fetch(key), hops + extra
+            return self._rpc(holder, "rpc_fetch", key), hops + extra
+
+    def _holder_fallback(
+        self, exc: ProtocolError, key: int, failed: int
+    ) -> tuple[int, int]:
+        """Resolve a replacement holder after a transport failure.
+
+        Application-level errors (the callee answered, e.g. "key not
+        held") and lookups that re-resolve to the same unreachable node
+        re-raise the original error — there is nothing to route around.
+        """
+        if not getattr(exc, "transport_failure", False):
+            raise exc
+        holder, hops = self.find_successor(key)
+        if holder == failed:
+            raise exc
+        self.network.fallbacks += 1
+        return holder, hops
 
     # ------------------------------------------------------------------
     # maintenance (one cycle == what fits in one paper tick)
@@ -370,7 +422,7 @@ class ChordNode:
         if self.predecessor is None or self.predecessor == self.id:
             return
         try:
-            self.network.rpc(self.predecessor, "rpc_ping")
+            self._rpc(self.predecessor, "rpc_ping")
         except ProtocolError:
             self.predecessor = None
 
@@ -378,7 +430,7 @@ class ChordNode:
         """Repair the successor pointer and refresh the successor list."""
         succ = self._first_live_successor()
         try:
-            x = self.network.rpc(succ, "rpc_get_predecessor")
+            x = self._rpc(succ, "rpc_get_predecessor")
             if (
                 x is not None
                 and x != succ
@@ -388,8 +440,8 @@ class ChordNode:
                 )
             ):
                 succ = x
-            self.network.rpc(succ, "rpc_notify", self.id)
-            their_list = self.network.rpc(succ, "rpc_get_successor_list")
+            self._rpc(succ, "rpc_notify", self.id)
+            their_list = self._rpc(succ, "rpc_get_successor_list")
         except ProtocolError:
             # successor died mid-cycle; next cycle will repair further
             return
@@ -429,7 +481,7 @@ class ChordNode:
             return
         plist = [self.predecessor]
         try:
-            theirs = self.network.rpc(
+            theirs = self._rpc(
                 self.predecessor, "rpc_get_predecessor_list"
             )
         except ProtocolError:
@@ -461,8 +513,17 @@ class ChordNode:
     # ------------------------------------------------------------------
     # replication (active backup model)
     # ------------------------------------------------------------------
+    def _replication_targets(self) -> list[int]:
+        """Backup recipients: the successor list, clamped to the
+        network-wide replication factor (None keeps the paper's
+        full-list active-backup idealization; 0 disables backups)."""
+        r = self.network.replication_factor
+        if r is None:
+            return self.successor_list
+        return self.successor_list[:r]
+
     def replicate(self) -> None:
-        """Push the primary set to every node on the successor list.
+        """Push the primary set to every replication target.
 
         Uses arc-scoped *sync* semantics: each backup makes its replicas
         of our responsibility arc identical to what we hold, so completed
@@ -474,20 +535,20 @@ class ChordNode:
             # replicas, so push non-destructively until stabilized.
             if not items:
                 return
-            for sid in self.successor_list:
+            for sid in self._replication_targets():
                 if sid == self.id:
                     continue
                 try:
-                    self.network.rpc(sid, "rpc_accept_replicas", items)
+                    self._rpc(sid, "rpc_accept_replicas", items)
                 except ProtocolError:
                     continue
             return
         start, end = self.responsibility_arc()
-        for sid in self.successor_list:
+        for sid in self._replication_targets():
             if sid == self.id:
                 continue
             try:
-                self.network.rpc(
+                self._rpc(
                     sid, "rpc_sync_replicas", start, end, items
                 )
             except ProtocolError:
@@ -562,7 +623,7 @@ class ChordNode:
             # relies on.
             self.successor_list = [candidate]
             try:
-                self.network.rpc(candidate, "rpc_notify", self.id)
+                self._rpc(candidate, "rpc_notify", self.id)
             except ProtocolError:
                 pass
         if old_pred is not None and old_pred != candidate:
@@ -572,7 +633,7 @@ class ChordNode:
             # waiting for its next stabilize cycle.  Without this,
             # building an n-node ring needs O(n) stabilization rounds.
             try:
-                self.network.rpc(
+                self._rpc(
                     old_pred, "rpc_replace_successor", self.id, candidate
                 )
             except ProtocolError:
@@ -583,7 +644,7 @@ class ChordNode:
         moved = self.store.pop_primary_range(self.id, candidate)
         if moved:
             try:
-                self.network.rpc(candidate, "rpc_receive_primaries", moved)
+                self._rpc(candidate, "rpc_receive_primaries", moved)
             except ProtocolError:
                 # hand-off failed: take the keys back
                 for k, v in moved.items():
@@ -604,11 +665,15 @@ class ChordNode:
         resurrect a finished task (exactly-once under graceful churn).
         """
         value = self.store.remove_primary(key)
+        # purge the FULL successor list, not just the replication
+        # targets: predecessor hand-offs leave demoted replicas behind
+        # irrespective of the replication factor, and an unpurged one
+        # would be promoted later and run the task twice
         for sid in self.successor_list:
             if sid == self.id:
                 continue
             try:
-                self.network.rpc(sid, "rpc_remove_replica", key)
+                self._rpc(sid, "rpc_remove_replica", key)
             except ProtocolError:
                 continue
         return value
@@ -655,7 +720,7 @@ class ChordNode:
             # predecessor pointer is never left unset — later joins in
             # its range rely on it for their own push repair.
             try:
-                self.network.rpc(new_id, "rpc_notify", self.id)
+                self._rpc(new_id, "rpc_notify", self.id)
             except ProtocolError:
                 pass
 

@@ -7,8 +7,12 @@ Subcommands
 ``repro run <id> [--scale quick|full] [--seed N] [--jobs N] [--csv PATH]
 [--json PATH]``
     Run one experiment (or ``all``) and print the paper-layout table.
+``repro experiments list`` / ``repro experiments run <id> ...``
+    Namespaced aliases of ``list`` and ``run`` (same flags).
 ``repro simulate [--strategy S] [--nodes N] [--tasks T] ...``
-    Run a single ad-hoc simulation and print its summary.
+    Run a single ad-hoc simulation and print its summary.  Failure
+    injection: ``--crash-fraction``, ``--replication`` (``full`` or an
+    integer), ``--loss-rate``, ``--crash-detection-ticks``.
 ``repro figures [--out DIR]``
     Render the Figure 2/3 ring SVGs.
 ``repro profile [--strategy S] ...``
@@ -52,22 +56,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list experiment ids")
+    def _add_run_arguments(run_p: argparse.ArgumentParser) -> None:
+        run_p.add_argument("experiment", help="experiment id or 'all'")
+        run_p.add_argument("--scale", choices=["quick", "full"], default=None)
+        run_p.add_argument("--seed", type=int, default=0)
+        run_p.add_argument("--jobs", type=int, default=1)
+        run_p.add_argument("--csv", type=Path, default=None)
+        run_p.add_argument("--json", type=Path, default=None)
+        run_p.add_argument(
+            "--no-cache", action="store_true",
+            help="recompute every trial (skip the content-addressed cache)",
+        )
+        run_p.add_argument(
+            "--manifest", type=Path, default=None,
+            help="write the run manifest(s) to this JSON file",
+        )
 
-    run_p = sub.add_parser("run", help="run an experiment (or 'all')")
-    run_p.add_argument("experiment", help="experiment id or 'all'")
-    run_p.add_argument("--scale", choices=["quick", "full"], default=None)
-    run_p.add_argument("--seed", type=int, default=0)
-    run_p.add_argument("--jobs", type=int, default=1)
-    run_p.add_argument("--csv", type=Path, default=None)
-    run_p.add_argument("--json", type=Path, default=None)
-    run_p.add_argument(
-        "--no-cache", action="store_true",
-        help="recompute every trial (skip the content-addressed cache)",
+    sub.add_parser("list", help="list experiment ids")
+    _add_run_arguments(sub.add_parser("run", help="run an experiment (or 'all')"))
+
+    # `repro experiments {list,run}`: namespaced aliases of the above.
+    exp_p = sub.add_parser(
+        "experiments", help="experiment registry commands (list / run)"
     )
-    run_p.add_argument(
-        "--manifest", type=Path, default=None,
-        help="write the run manifest(s) to this JSON file",
+    exp_sub = exp_p.add_subparsers(dest="experiments_command", required=True)
+    exp_sub.add_parser("list", help="list experiment ids")
+    _add_run_arguments(
+        exp_sub.add_parser("run", help="run an experiment (or 'all')")
     )
 
     sim_p = sub.add_parser("simulate", help="one ad-hoc simulation")
@@ -82,6 +97,23 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--max-sybils", type=int, default=5)
     sim_p.add_argument("--sybil-threshold", type=int, default=0)
     sim_p.add_argument("--successors", type=int, default=5)
+    sim_p.add_argument(
+        "--crash-fraction", type=float, default=0.0,
+        help="fraction of churn departures that crash without handoff",
+    )
+    sim_p.add_argument(
+        "--replication", default="full",
+        help="backup copies per task: 'full' (default) or an integer "
+        "number of successors (0 = no replication)",
+    )
+    sim_p.add_argument(
+        "--loss-rate", type=float, default=0.0,
+        help="protocol-level message loss probability (chord layer)",
+    )
+    sim_p.add_argument(
+        "--crash-detection-ticks", type=int, default=0,
+        help="ticks a crashed node still looks alive (chord layer)",
+    )
     sim_p.add_argument("--seed", type=int, default=0)
     sim_p.add_argument("--trials", type=int, default=1)
     sim_p.add_argument("--jobs", type=int, default=1)
@@ -207,7 +239,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_replication(value: str) -> int | None:
+    if value == "full":
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise SystemExit(
+            f"--replication must be 'full' or an integer, got {value!r}"
+        ) from None
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.config import FailureModel
     from repro.sim.trials import run_trials
     from repro.util.tables import format_kv
 
@@ -221,6 +265,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         max_sybils=args.max_sybils,
         sybil_threshold=args.sybil_threshold,
         num_successors=args.successors,
+        failures=FailureModel(
+            crash_fraction=args.crash_fraction,
+            replication_factor=_parse_replication(args.replication),
+            message_loss_rate=args.loss_rate,
+            crash_detection_ticks=args.crash_detection_ticks,
+        ),
         seed=args.seed,
     )
     t0 = time.time()
@@ -232,24 +282,31 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         timeout=args.timeout,
     )
     summary = trials.factor_summary()
-    print(
-        format_kv(
-            {
-                "strategy": config.strategy,
-                "nodes/tasks": f"{config.n_nodes}/{config.n_tasks}",
-                "trials": summary.n_trials,
-                "mean runtime factor": summary.mean,
-                "std": summary.std,
-                "min..max": f"{summary.min:.3f}..{summary.max:.3f}",
-                "ideal ticks": trials.results[0].ideal_ticks,
-                "wall time (s)": round(time.time() - t0, 2),
-                **{
-                    f"avg {k}": round(v, 1)
-                    for k, v in trials.counter_means().items()
-                },
-            }
+    payload = {
+        "strategy": config.strategy,
+        "nodes/tasks": f"{config.n_nodes}/{config.n_tasks}",
+        "trials": summary.n_trials,
+        "mean runtime factor": summary.mean,
+        "std": summary.std,
+        "min..max": f"{summary.min:.3f}..{summary.max:.3f}",
+        "ideal ticks": trials.results[0].ideal_ticks,
+        "wall time (s)": round(time.time() - t0, 2),
+    }
+    if config.failures.enabled:
+        payload["mean completed-work factor"] = (
+            trials.mean_completed_work_factor
         )
+    if trials.n_truncated:
+        payload["trials truncated"] = trials.n_truncated
+    if trials.n_data_loss:
+        payload["trials with data loss"] = trials.n_data_loss
+    payload.update(
+        {
+            f"avg {k}": round(v, 1)
+            for k, v in trials.counter_means().items()
+        }
     )
+    print(format_kv(payload))
     return 0
 
 
@@ -435,6 +492,10 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "experiments":
+        if args.experiments_command == "list":
+            return _cmd_list()
+        return _cmd_run(args)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":

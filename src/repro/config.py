@@ -29,7 +29,7 @@ from typing import Any, Literal
 
 from repro.errors import ConfigError
 
-__all__ = ["SimulationConfig", "STRATEGY_NAMES"]
+__all__ = ["FailureModel", "SimulationConfig", "STRATEGY_NAMES"]
 
 #: Strategy registry keys understood by :func:`repro.core.make_strategy`.
 STRATEGY_NAMES = (
@@ -47,6 +47,74 @@ STRATEGY_NAMES = (
 
 WorkMeasurement = Literal["one", "strength"]
 Placement = Literal["random", "midpoint", "median"]
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Failure-injection knobs, default-off (the paper's §V idealization).
+
+    The paper assumes every departure is graceful and backups are
+    aggressive enough that "node death loses no data".  This group makes
+    that assumption a parameter instead of a constant:
+
+    ``crash_fraction``
+        Fraction of churn departures that are crash-stop instead of
+        graceful.  A crashed owner's tasks survive only where one of its
+        ``replication_factor`` successors holds a backup.
+    ``replication_factor``
+        Number of successor backups ``r``.  ``None`` keeps the paper's
+        perfect-backup idealization (every key is recoverable); ``0``
+        means no backups at all.
+    ``message_loss_rate``
+        Protocol layer only: probability that any RPC is dropped in
+        transit (:class:`repro.chord.network.SimNetwork`).
+    ``crash_detection_ticks``
+        Protocol layer only: how many network ticks a crash-stop node
+        still *appears* alive to liveness probes before peers detect the
+        failure.
+
+    All defaults are inert: a default ``FailureModel`` changes neither
+    RNG consumption nor results, so seeded runs stay bit-identical.
+    """
+
+    crash_fraction: float = 0.0
+    replication_factor: int | None = None
+    message_loss_rate: float = 0.0
+    crash_detection_ticks: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crash_fraction <= 1.0:
+            raise ConfigError(
+                f"crash_fraction must be in [0, 1], got {self.crash_fraction}"
+            )
+        if self.replication_factor is not None and self.replication_factor < 0:
+            raise ConfigError(
+                f"replication_factor must be >= 0 or None, "
+                f"got {self.replication_factor}"
+            )
+        if not 0.0 <= self.message_loss_rate <= 1.0:
+            raise ConfigError(
+                f"message_loss_rate must be in [0, 1], "
+                f"got {self.message_loss_rate}"
+            )
+        if self.crash_detection_ticks < 0:
+            raise ConfigError(
+                f"crash_detection_ticks must be >= 0, "
+                f"got {self.crash_detection_ticks}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any knob departs from the paper's idealization."""
+        return (
+            self.crash_fraction > 0.0
+            or self.replication_factor is not None
+            or self.message_loss_rate > 0.0
+            or self.crash_detection_ticks > 0
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 @dataclass(frozen=True)
@@ -81,6 +149,9 @@ class SimulationConfig:
     arrival_rate: float = 0.0
     arrival_until: int = 0
 
+    # -- failure injection (default-off; see FailureModel) ----------------
+    failures: FailureModel = field(default_factory=FailureModel)
+
     # -- machinery --------------------------------------------------------
     seed: int | None = 0
     bits: int = 64
@@ -89,6 +160,14 @@ class SimulationConfig:
     collect_timeseries: bool = False
 
     def __post_init__(self) -> None:
+        if isinstance(self.failures, dict):
+            # persistence round-trip: SimulationConfig(**as_dict())
+            object.__setattr__(self, "failures", FailureModel(**self.failures))
+        elif not isinstance(self.failures, FailureModel):
+            raise ConfigError(
+                f"failures must be a FailureModel or dict, "
+                f"got {type(self.failures).__name__}"
+            )
         if self.strategy not in STRATEGY_NAMES:
             raise ConfigError(
                 f"unknown strategy {self.strategy!r}; expected one of "
@@ -184,4 +263,6 @@ class SimulationConfig:
 
     def as_dict(self) -> dict[str, Any]:
         """Plain-dict form (for CSV/JSON export and result provenance)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["failures"] = self.failures.as_dict()
+        return data

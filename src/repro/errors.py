@@ -13,7 +13,9 @@ __all__ = [
     "IdSpaceError",
     "RingError",
     "ProtocolError",
+    "TransientNetworkError",
     "SimulationError",
+    "RingEmptyError",
     "StrategyError",
     "TrialError",
     "ExperimentError",
@@ -40,8 +42,49 @@ class ProtocolError(ReproError):
     """A protocol-level Chord operation failed (dead node, bad RPC)."""
 
 
+class TransientNetworkError(ProtocolError):
+    """An RPC was lost in transit (injected drop), not a dead endpoint.
+
+    Raised by :class:`repro.chord.network.SimNetwork` when a message is
+    dropped by the fault plane.  Callers may retry: unlike a crash-stop
+    failure, the target is still alive and a re-send can succeed.
+
+    ``transport_failure`` marks errors originating in the fabric itself
+    (drops and dead endpoints) as opposed to application-level protocol
+    errors raised by the callee; node-level fallback logic keys on it.
+    """
+
+    transport_failure = True
+
+
 class SimulationError(ReproError):
     """The tick simulation reached an invalid state."""
+
+
+class RingEmptyError(SimulationError):
+    """Churn removed the last slot from the ring.
+
+    Carries the context needed to understand the collapse without a
+    debugger: the tick it happened on, the active strategy, and the
+    churn parameters that drove the ring to zero.  The tick engine
+    converts this into a structured terminated result (``finished=False``,
+    ``termination_reason="ring_empty"``) rather than failing the run.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tick: int = -1,
+        strategy: str = "",
+        churn_rate: float = 0.0,
+        crash_fraction: float = 0.0,
+    ):
+        super().__init__(message)
+        self.tick = tick
+        self.strategy = strategy
+        self.churn_rate = churn_rate
+        self.crash_fraction = crash_fraction
 
 
 class StrategyError(ReproError):

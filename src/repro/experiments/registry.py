@@ -14,6 +14,7 @@ from repro.sim.trials import reset_run_stats, run_stats
 from repro.experiments import (
     ablations,
     ext_arrivals,
+    ext_failures,
     ext_future_work,
     ext_maintenance,
     ext_skew,
@@ -54,6 +55,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
         ext_maintenance.run,
     ),
     "ext_arrivals": ("Extension: streaming task arrivals", ext_arrivals.run),
+    "ext_failures": (
+        "Extension: crash-stop failures and replication",
+        ext_failures.run,
+    ),
 }
 
 

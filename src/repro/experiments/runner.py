@@ -78,11 +78,34 @@ class RunManifest:
             parts.append(f"{stats['retries']} retried")
         if stats.get("trials_failed"):
             parts.append(f"{stats['trials_failed']} FAILED")
+        if stats.get("trials_truncated"):
+            parts.append(f"{stats['trials_truncated']} TRUNCATED")
+        if stats.get("trials_data_loss"):
+            parts.append(f"{stats['trials_data_loss']} with data loss")
         avg = stats.get("avg_trial_seconds", 0.0)
         if avg:
             parts.append(f"{avg:.3f}s/trial")
         parts.append(f"{self.wall_s:.1f}s wall")
         return ", ".join(parts)
+
+    def flags(self) -> list[str]:
+        """Warnings the report must surface next to this experiment's
+        numbers: aggregates silently containing truncated or lossy
+        trials misrepresent the runtime factors."""
+        out: list[str] = []
+        truncated = self.run_stats.get("trials_truncated", 0)
+        if truncated:
+            out.append(
+                f"{truncated} trial(s) hit max_ticks without finishing — "
+                "their runtime factors understate the truth"
+            )
+        lossy = self.run_stats.get("trials_data_loss", 0)
+        if lossy:
+            out.append(
+                f"{lossy} trial(s) lost tasks to failures — factors are "
+                "over *surviving* work only"
+            )
+        return out
 
 
 def run_with_manifest(

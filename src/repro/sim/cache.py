@@ -58,7 +58,8 @@ __all__ = [
 
 #: Bump when a code change makes identical configs produce different
 #: results (see module docstring); this invalidates every cached trial.
-CACHE_SCHEMA_VERSION = 1
+#: 2: failure-model fields joined the config and the result payload.
+CACHE_SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:

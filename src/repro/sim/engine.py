@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.core.registry import make_strategy
 from repro.core.strategy import Strategy
-from repro.errors import SimulationError
+from repro.errors import RingEmptyError
 from repro.hashspace.idspace import IdSpace
 from repro.metrics.histograms import histogram, shared_edges
 from repro.metrics.timeseries import TickSeries
@@ -107,6 +107,15 @@ class TickEngine:
             "churn_keys_moved": 0,
             "decision_rounds": 0,
         }
+        self.failures = config.failures
+        self.tasks_lost = 0
+        self.termination_reason: str | None = None
+        if self.failures.crash_fraction > 0:
+            # failure counters exist only when crashes are possible, so
+            # default-config results keep their historical counter set
+            self.counters["crashes"] = 0
+            self.counters["tasks_lost"] = 0
+            self.counters["recovered_from_backup"] = 0
         self.timeseries = TickSeries() if config.collect_timeseries else None
         self._snapshot_loads: dict[int, np.ndarray] = {}
         if 0 in config.snapshot_ticks:
@@ -130,6 +139,11 @@ class TickEngine:
     def finished(self) -> bool:
         return self.remaining == 0 and not self.arrivals_pending
 
+    @property
+    def terminated(self) -> bool:
+        """Whether the run stopped early (ring death, unrecoverable loss)."""
+        return self.termination_reason is not None
+
     def network_loads(self) -> np.ndarray:
         """Remaining workload of each *in-network* physical node."""
         loads = self.state.owner_loads(self.owners.n_total)
@@ -137,7 +151,7 @@ class TickEngine:
 
     def step(self) -> int:
         """Advance one tick; returns the number of tasks consumed."""
-        if self.finished:
+        if self.finished or self.terminated:
             return 0
         self.tick += 1
         cfg = self.config
@@ -145,6 +159,8 @@ class TickEngine:
             self._run_strategy_round()
         if cfg.churn_rate > 0:
             self._apply_churn()
+            if self.terminated:
+                return 0
         if cfg.arrival_rate > 0 and self.tick <= cfg.arrival_until:
             self._apply_arrivals()
         consumed = self._consume_tick()
@@ -167,9 +183,23 @@ class TickEngine:
         return consumed
 
     def run(self) -> SimulationResult:
-        """Run to completion (or the ``max_ticks`` cap) and package results."""
-        while not self.finished and self.tick < self.config.max_ticks:
-            self.step()
+        """Run to completion (or the ``max_ticks`` cap) and package results.
+
+        Runs that can no longer complete — the ring emptied, or crashes
+        destroyed tasks — terminate with a structured result
+        (``completed=False``, ``termination_reason`` set) instead of
+        raising or spinning to ``max_ticks``.
+        """
+        while (
+            not self.finished
+            and not self.terminated
+            and self.tick < self.config.max_ticks
+        ):
+            try:
+                self.step()
+            except RingEmptyError:
+                self.termination_reason = "ring_empty"
+                break
         return self._build_result()
 
     # ------------------------------------------------------------------
@@ -197,13 +227,42 @@ class TickEngine:
         """
         rate = self.config.churn_rate
         rng = self.rng
+        cf = self.failures.crash_fraction
         # departures: each in-network node flips a coin (§IV-A)
         net = self.owners.network_indices
         leaving = net[rng.random(net.size) < rate]
         if leaving.size:
+            # one vectorized draw, gated on cf > 0 so default configs
+            # consume no extra RNG and stay bit-identical
+            crashing = (
+                rng.random(leaving.size) < cf if cf > 0 else None
+            )
+            ring_died = False
             removal = self.state.begin_batch_removal(leaving)
-            for owner in leaving:
+            for i, owner in enumerate(leaving):
                 owner = int(owner)
+                if crashing is not None and crashing[i]:
+                    # crash-stop: un-replicated tasks are lost
+                    res = removal.crash_owner_guarded(
+                        owner, self.failures.replication_factor
+                    )
+                    if res is None:
+                        # the last live node crashed: the ring is dead
+                        ring_died = True
+                        continue
+                    recovered, lost = res
+                    self.counters["crashes"] += 1
+                    self.counters["churn_leaves"] += 1
+                    self.counters["churn_keys_moved"] += recovered
+                    self.counters["recovered_from_backup"] += recovered
+                    self.counters["tasks_lost"] += lost
+                    self.tasks_lost += lost
+                    self.owners.leave_network(owner)
+                    self._emit(
+                        "churn_crash", owner=owner,
+                        recovered=recovered, lost=lost,
+                    )
+                    continue
                 # never empty the ring: the last identities stay put
                 moved = removal.remove_owner_guarded(owner)
                 if moved is None:
@@ -213,6 +272,14 @@ class TickEngine:
                 self.counters["churn_leaves"] += 1
                 self._emit("churn_leave", owner=owner, keys_moved=moved)
             removal.commit()
+            if ring_died:
+                # everything still on the wreck is unrecoverable
+                lost = self.state.total_remaining()
+                self.counters["tasks_lost"] += lost
+                self.tasks_lost += lost
+                self.termination_reason = "ring_empty"
+                self._emit("ring_empty", tick=self.tick, tasks_lost=lost)
+                return
         # arrivals: each waiting node flips the same coin
         waiting = self.owners.waiting_indices
         joining = waiting[rng.random(waiting.size) < rate]
@@ -246,7 +313,13 @@ class TickEngine:
         state = self.state
         counts = state.counts
         if state.n_slots == 0:
-            raise SimulationError("ring became empty")
+            raise RingEmptyError(
+                f"ring became empty at tick {self.tick}",
+                tick=self.tick,
+                strategy=self.config.strategy,
+                churn_rate=self.config.churn_rate,
+                crash_fraction=self.failures.crash_fraction,
+            )
         rates = self.owners.rate
         if state.n_sybil_slots == 0:
             # FAST PATH: one slot per owner — consume directly per slot.
@@ -329,16 +402,32 @@ class TickEngine:
             else float(max(self.tick, 1))
         )
         self.ideal_ticks = ideal
+        reason = self.termination_reason
+        if reason is None:
+            if self.finished and self.tasks_lost > 0:
+                # every surviving task ran, but crashes destroyed some:
+                # the computation as submitted can never complete
+                reason = "data_loss"
+            elif not self.finished:
+                reason = "max_ticks"
+        completed = (
+            self.finished
+            and self.tasks_lost == 0
+            and self.termination_reason is None
+        )
         return SimulationResult(
             config=self.config,
             runtime_ticks=self.tick,
             ideal_ticks=ideal,
-            completed=self.finished,
+            completed=completed,
             total_consumed=self.total_consumed,
             snapshots=snapshots,
             timeseries=self.timeseries,
             counters=dict(self.counters),
             final_loads=self.network_loads().copy(),
+            termination_reason=reason,
+            total_injected=self.total_injected,
+            n_survivors=self.owners.n_in_network,
         )
 
     # ------------------------------------------------------------------

@@ -37,7 +37,10 @@ __all__ = [
 
 #: On-disk format tags.  The trial cache folds :data:`RESULT_FORMAT`
 #: into its keys, so bumping a version here invalidates cached trials.
-RESULT_FORMAT = "repro.simulation_result.v1"
+#: v2 adds the failure-model fields (termination_reason,
+#: total_injected, n_survivors); v1 documents remain readable.
+RESULT_FORMAT = "repro.simulation_result.v2"
+_RESULT_FORMATS_READ = ("repro.simulation_result.v1", RESULT_FORMAT)
 TRIALSET_FORMAT = "repro.trialset.v1"
 SWEEP_FORMAT = "repro.sweep.v1"
 
@@ -98,6 +101,9 @@ def result_to_dict(
             if result.timeseries is not None
             else None
         ),
+        "termination_reason": result.termination_reason,
+        "total_injected": result.total_injected,
+        "n_survivors": result.n_survivors,
     }
     if include_final_loads and result.final_loads is not None:
         payload["final_loads"] = result.final_loads.tolist()
@@ -105,8 +111,8 @@ def result_to_dict(
 
 
 def result_from_dict(data: dict[str, Any]) -> SimulationResult:
-    """Inverse of :func:`result_to_dict`."""
-    if data.get("format") != RESULT_FORMAT:
+    """Inverse of :func:`result_to_dict` (reads v1 and v2 documents)."""
+    if data.get("format") not in _RESULT_FORMATS_READ:
         raise ValueError(f"unknown result format {data.get('format')!r}")
     config_data = dict(data["config"])
     config_data["snapshot_ticks"] = tuple(config_data.get("snapshot_ticks", ()))
@@ -127,6 +133,9 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
         final_loads=(
             np.asarray(final, dtype=np.int64) if final is not None else None
         ),
+        termination_reason=data.get("termination_reason"),
+        total_injected=data.get("total_injected"),
+        n_survivors=data.get("n_survivors"),
     )
 
 

@@ -34,9 +34,20 @@ class SimulationResult:
         Per-tick series (only populated when ``collect_timeseries``).
     counters:
         Event totals: sybils created/retired, churn joins/leaves,
-        strategy messages, tasks acquired by Sybils, decision rounds.
+        strategy messages, tasks acquired by Sybils, decision rounds;
+        with failure injection also crashes, tasks_lost, and
+        recovered_from_backup.
     final_loads:
         Remaining per-owner workload at the end (all zeros if completed).
+    termination_reason:
+        Why an incomplete run stopped: ``"max_ticks"`` (truncated),
+        ``"data_loss"`` (crashes destroyed tasks; the surviving work
+        finished), ``"ring_empty"`` (churn/crashes removed the last
+        node).  None for completed runs.
+    total_injected:
+        Tasks ever submitted (initial load plus streaming arrivals).
+    n_survivors:
+        In-network physical nodes when the run ended.
     """
 
     config: SimulationConfig
@@ -48,10 +59,47 @@ class SimulationResult:
     timeseries: TickSeries | None = None
     counters: dict[str, int] = field(default_factory=dict)
     final_loads: np.ndarray | None = None
+    termination_reason: str | None = None
+    total_injected: int | None = None
+    n_survivors: int | None = None
 
     @property
     def runtime_factor(self) -> float:
         return self.runtime_ticks / self.ideal_ticks
+
+    @property
+    def finished(self) -> bool:
+        """Whether the run ran to a natural end (alias of ``completed``
+        for runs without data loss; False for any early termination)."""
+        return self.completed
+
+    @property
+    def tasks_lost(self) -> int:
+        """Tasks destroyed by crash-stop failures."""
+        return int(self.counters.get("tasks_lost", 0))
+
+    @property
+    def completed_fraction(self) -> float:
+        """Share of injected work that actually ran to completion."""
+        injected = self.total_injected
+        if injected is None:
+            injected = self.total_consumed + self.tasks_lost
+        return self.total_consumed / injected if injected else 1.0
+
+    @property
+    def completed_work_factor(self) -> float:
+        """Runtime factor over *completed* work.
+
+        For a lossy run the plain :attr:`runtime_factor` flatters the
+        network: losing tasks shrinks the workload, so the run "ends"
+        sooner.  This normalizes the ideal to the work that was actually
+        done — a run that consumed half the submitted tasks in the
+        nominal ideal time scores 2.0, not 1.0.
+        """
+        frac = self.completed_fraction
+        if frac == 0.0:
+            return float("inf")
+        return self.runtime_ticks / (self.ideal_ticks * frac)
 
     def snapshot_at(self, tick: int) -> Histogram:
         for snap in self.snapshots:
@@ -68,6 +116,7 @@ class SimulationResult:
             "ideal_ticks": self.ideal_ticks,
             "runtime_factor": self.runtime_factor,
             "completed": self.completed,
+            "termination_reason": self.termination_reason,
             **{f"n_{k}": v for k, v in sorted(self.counters.items())},
         }
 
@@ -105,6 +154,39 @@ class TrialSet:
         from repro.metrics.stats_tests import compare_factors
 
         return compare_factors(self.factors, other.factors)
+
+    @property
+    def n_truncated(self) -> int:
+        """Trials that hit ``max_ticks`` without finishing.
+
+        Their runtime factors understate the truth (the run was cut off,
+        not done), so any aggregate containing them deserves a flag.
+        Results persisted before termination reasons existed carry
+        ``termination_reason=None``; an incomplete one of those can only
+        be a truncation.
+        """
+        return sum(
+            1
+            for r in self.results
+            if not r.completed
+            and r.termination_reason in (None, "max_ticks")
+        )
+
+    @property
+    def n_data_loss(self) -> int:
+        """Trials that lost tasks to crashes or ring death."""
+        return sum(
+            1
+            for r in self.results
+            if r.tasks_lost > 0
+            or r.termination_reason in ("data_loss", "ring_empty")
+        )
+
+    @property
+    def mean_completed_work_factor(self) -> float:
+        return float(
+            np.mean([r.completed_work_factor for r in self.results])
+        )
 
     def counter_means(self) -> dict[str, float]:
         keys: set[str] = set()

@@ -980,6 +980,95 @@ class BatchRemoval:
             moved += self._remove_one(slot)
         return moved
 
+    def crash_owner_guarded(
+        self, owner: int, replication: int | None
+    ) -> tuple[int, int] | None:
+        """Queue a crash-stop removal of all the owner's slots.
+
+        Unlike :meth:`remove_owner_guarded` (a graceful leave, where the
+        departing node hands every key to its successor), a crash loses
+        any key that is not replicated: a slot's keys survive only if
+        one of its ``replication`` immediate successors on the pre-batch
+        ring is still alive *within this batch* to serve the backup.
+        ``replication=None`` models the paper's perfect-backup
+        idealization (the next live successor always has a copy).
+
+        All the owner's slots are marked dead before any recovery is
+        resolved, so a backup can never land on another identity of the
+        crashed owner.  Returns ``(recovered, lost)`` key counts, or
+        None if removing the owner would empty the ring (the engine
+        treats that as ring death).
+        """
+        alive = self._alive
+        slots = self._owner_slots(owner)
+        if self._live != self._n:
+            slots = [s for s in slots if alive[s]]
+        if self._live - len(slots) < 1:
+            return None
+        n = self._n
+        counts = self._counts
+        keys = self._keys
+        classes = self._pool_classes
+        # phase 1: mark every slot dead, capturing its key buffer
+        captured: list[tuple[int, np.ndarray, int]] = []
+        for slot in slots:
+            captured.append((slot, keys[slot], int(counts[slot])))
+            keys[slot] = _EMPTY_KEYS
+            counts[slot] = 0
+            alive[slot] = 0
+            self._skip[slot] = (slot + 1) % n
+            self._dead.append(slot)
+            self._live -= 1
+        # phase 2: resolve each slot's keys against the backup holders
+        recovered = 0
+        lost = 0
+        for slot, buf, moved in captured:
+            if moved:
+                if replication is None:
+                    succ = self._next_alive(slot)
+                else:
+                    succ = -1
+                    j = slot
+                    for _ in range(replication):
+                        j += 1
+                        if j == n:
+                            j = 0
+                        if alive[j]:
+                            succ = j
+                            break
+                if succ < 0:
+                    lost += moved
+                else:
+                    recovered += moved
+                    n_succ = int(counts[succ])
+                    total = moved + n_succ
+                    cap = 8 if total <= 8 else 1 << (total - 1).bit_length()
+                    bucket = classes.get(cap)
+                    merged = (
+                        bucket.pop() if bucket else np.empty(cap, dtype=_U64)
+                    )
+                    merged[:moved] = buf[:moved]
+                    merged[moved:total] = keys[succ][:n_succ]
+                    self._shuffle(merged[:total])
+                    old = keys[succ]
+                    cap = old.size
+                    if (
+                        old.base is None
+                        and 8 <= cap <= 262144
+                        and not cap & (cap - 1)
+                    ):
+                        bucket = classes.setdefault(cap, [])
+                        if len(bucket) < 32:
+                            bucket.append(old)
+                    keys[succ] = merged
+                    counts[succ] = total
+            cap = buf.size
+            if buf.base is None and 8 <= cap <= 262144 and not cap & (cap - 1):
+                bucket = classes.setdefault(cap, [])
+                if len(bucket) < 32:
+                    bucket.append(buf)
+        return recovered, lost
+
     def retire_sybils(self, owner: int) -> int:
         """Queue removal of the owner's Sybil slots; returns how many."""
         is_main = self._state.is_main

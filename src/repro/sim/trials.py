@@ -137,6 +137,8 @@ class RunStats:
     trials_failed: int = 0
     retries: int = 0
     trial_seconds: float = 0.0
+    trials_truncated: int = 0
+    trials_data_loss: int = 0
 
     @property
     def trials_total(self) -> int:
@@ -146,6 +148,19 @@ class RunStats:
     def avg_trial_seconds(self) -> float:
         return self.trial_seconds / self.trials_run if self.trials_run else 0.0
 
+    def note_outcome(self, result: SimulationResult) -> None:
+        """Record a settled trial's ending (truncation / data loss)."""
+        if not result.completed and result.termination_reason in (
+            None,
+            "max_ticks",
+        ):
+            self.trials_truncated += 1
+        if result.tasks_lost > 0 or result.termination_reason in (
+            "data_loss",
+            "ring_empty",
+        ):
+            self.trials_data_loss += 1
+
     def as_dict(self) -> dict:
         return {
             "trials_run": self.trials_run,
@@ -154,6 +169,8 @@ class RunStats:
             "retries": self.retries,
             "trial_seconds": round(self.trial_seconds, 4),
             "avg_trial_seconds": round(self.avg_trial_seconds, 4),
+            "trials_truncated": self.trials_truncated,
+            "trials_data_loss": self.trials_data_loss,
         }
 
     def summary_line(self) -> str:
@@ -166,6 +183,10 @@ class RunStats:
             parts.append(f"{self.retries} retried")
         if self.trials_failed:
             parts.append(f"{self.trials_failed} FAILED")
+        if self.trials_truncated:
+            parts.append(f"{self.trials_truncated} TRUNCATED")
+        if self.trials_data_loss:
+            parts.append(f"{self.trials_data_loss} with data loss")
         if self.trials_run:
             parts.append(f"{self.avg_trial_seconds:.3f}s/trial")
         return ", ".join(parts)
@@ -377,6 +398,7 @@ def run_trials(
             if cached is not None:
                 results[i] = cached
                 stats.trials_cached += 1
+                stats.note_outcome(cached)
                 if progress is not None:
                     progress({"trial": i, "status": "cached", "seconds": 0.0})
                 continue
@@ -392,6 +414,7 @@ def run_trials(
             results[index] = payload
             stats.trials_run += 1
             stats.trial_seconds += seconds
+            stats.note_outcome(payload)
             if cache_obj is not None:
                 cache_obj.store(keys[index], payload)
         else:

@@ -26,6 +26,24 @@ class TestListCommand:
         assert "table1" in out and "fig13_14" in out
 
 
+class TestExperimentsAlias:
+    def test_list_alias(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "ext_failures" in out
+
+    def test_run_alias_parses_like_run(self):
+        args = build_parser().parse_args(
+            ["experiments", "run", "ext_failures", "--scale", "quick"]
+        )
+        assert args.experiment == "ext_failures"
+        assert args.scale == "quick"
+
+    def test_run_alias_executes(self, capsys):
+        assert main(["experiments", "run", "fig02_03"]) == 0
+        assert "fig02_03" in capsys.readouterr().out
+
+
 class TestRunCommand:
     def test_run_fig02_03_with_exports(self, capsys, tmp_path):
         csv = tmp_path / "out.csv"
@@ -70,6 +88,29 @@ class TestSimulateCommand:
     def test_rejects_unknown_strategy(self):
         with pytest.raises(SystemExit):
             main(["simulate", "--strategy", "bogus"])
+
+    def test_failure_flags(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--strategy", "churn",
+                "--nodes", "60",
+                "--tasks", "1200",
+                "--churn", "0.02",
+                "--crash-fraction", "1.0",
+                "--replication", "0",
+                "--seed", "9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean completed-work factor" in out
+        assert "trials with data loss" in out
+        assert "avg tasks_lost" in out
+
+    def test_rejects_bad_replication(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--replication", "lots"])
 
 
 class TestFiguresCommand:

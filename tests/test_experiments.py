@@ -34,6 +34,7 @@ class TestRegistry:
             "ext_future_work",
             "ext_maintenance",
             "ext_arrivals",
+            "ext_failures",
         }
 
     def test_unknown_id(self):
