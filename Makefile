@@ -5,10 +5,21 @@ export PYTHONPATH := src
 BENCH_BASELINE := benchmarks/BENCH_core_ops_slab.json
 BENCH_CURRENT  := benchmarks/.bench_current.json
 
-.PHONY: test bench bench-baseline bench-check sweep-resume-check check figures
+.PHONY: test lint typecheck bench bench-baseline bench-check \
+	sweep-resume-check check figures
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# reprolint: determinism/correctness AST rules (R001-R006); exits
+# non-zero on any error-severity finding
+lint:
+	$(PYTHON) -m repro.cli lint src
+
+# baseline-aware mypy (skips with a notice when mypy is not installed;
+# CI installs the pinned version from the `dev` extra)
+typecheck:
+	$(PYTHON) scripts/typecheck.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_core_ops.py --benchmark-only \
@@ -29,8 +40,9 @@ bench-check: bench
 sweep-resume-check:
 	$(PYTHON) scripts/sweep_resume_check.py
 
-# the full tier-1 gate: unit/property tests, perf regression, resume
-check: test bench-check sweep-resume-check
+# the full tier-1 gate: static analysis, unit/property tests, perf
+# regression, resume
+check: lint typecheck test bench-check sweep-resume-check
 
 figures:
 	$(PYTHON) -m repro.cli figures --out figures/

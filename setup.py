@@ -1,3 +1,5 @@
 from setuptools import setup
 
+# All metadata lives in pyproject.toml, including the PEP 561
+# `repro/py.typed` marker shipped via [tool.setuptools.package-data].
 setup()

@@ -16,6 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.chord.node import ChordNode
+from repro.errors import ConfigError
+from repro.util.rng import make_rng
 
 __all__ = ["LatencyModel", "lookup_latency_ms"]
 
@@ -27,7 +29,7 @@ class LatencyModel:
         self, *, base_ms: float = 40.0, sigma: float = 0.5, seed: int = 0
     ):
         if base_ms <= 0:
-            raise ValueError(f"base_ms must be positive, got {base_ms}")
+            raise ConfigError(f"base_ms must be positive, got {base_ms}")
         self.base_ms = base_ms
         self.sigma = sigma
         self.seed = seed
@@ -38,7 +40,7 @@ class LatencyModel:
             return 0.0
         lo, hi = (a, b) if a <= b else (b, a)
         # derive a per-pair RNG from the ids; SeedSequence hashes well
-        rng = np.random.default_rng(
+        rng = make_rng(
             np.random.SeedSequence([self.seed, lo & (2**63 - 1), hi & (2**63 - 1)])
         )
         return float(
@@ -82,4 +84,4 @@ def lookup_latency_ms(
         )
         total += model.one_way_ms(holder, node.id)
         return holder, total
-    raise ValueError(f"unknown lookup mode {mode!r}")
+    raise ConfigError(f"unknown lookup mode {mode!r}")

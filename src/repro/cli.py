@@ -27,6 +27,9 @@ Subcommands
     cache — re-running the same command recomputes only missing trials.
 ``repro cache [--clear]``
     Show (or empty) the content-addressed trial cache.
+``repro lint [paths] [--json] [--select R00x,...] [--list-rules]``
+    Run the reprolint determinism/correctness rules (R001-R006, see
+    docs/static-analysis.md); exits non-zero on any error finding.
 
 Caching: completed trials persist under ``~/.cache/repro`` (override
 with ``REPRO_CACHE_DIR``), so re-running any experiment is a cache hit.
@@ -179,6 +182,26 @@ def build_parser() -> argparse.ArgumentParser:
     theory_p.add_argument("--tasks", type=int, default=100_000)
     theory_p.add_argument("--seed", type=int, default=0)
 
+    lint_p = sub.add_parser(
+        "lint", help="run the reprolint determinism/correctness rules"
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", type=Path, default=None,
+        help="files/directories to lint (default: src, else the package)",
+    )
+    lint_p.add_argument(
+        "--json", action="store_true",
+        help="emit the deterministic JSON report instead of text",
+    )
+    lint_p.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
     rep_p = sub.add_parser(
         "report", help="run every experiment and write a report bundle"
     )
@@ -273,7 +296,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ),
         seed=args.seed,
     )
-    t0 = time.time()
+    # perf_counter, not time.time: monotonic, so a wall-clock adjustment
+    # mid-run cannot report a negative duration (R002 allowlists cli.py)
+    t0 = time.perf_counter()
     trials = run_trials(
         config,
         args.trials,
@@ -290,7 +315,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "std": summary.std,
         "min..max": f"{summary.min:.3f}..{summary.max:.3f}",
         "ideal ticks": trials.results[0].ideal_ticks,
-        "wall time (s)": round(time.time() - t0, 2),
+        "wall time (s)": round(time.perf_counter() - t0, 2),
     }
     if config.failures.enabled:
         payload["mean completed-work factor"] = (
@@ -332,7 +357,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     reset_run_stats()
-    t0 = time.time()
+    t0 = time.perf_counter()
     sets = sweep(
         base,
         args.field,
@@ -355,7 +380,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"({'CRN' if args.crn else 'decorrelated'} seeds)",
         )
     )
-    print(f"  ({run_stats().summary_line()}, {time.time() - t0:.1f}s wall)")
+    print(
+        f"  ({run_stats().summary_line()}, "
+        f"{time.perf_counter() - t0:.1f}s wall)"
+    )
     if args.out:
         path = save_sweep(sets, args.out)
         print(f"  wrote {path}")
@@ -474,6 +502,27 @@ def _cmd_theory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import all_rules, lint_paths, render_human, render_json
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name:<22}  {rule.summary}")
+        return 0
+    paths = args.paths
+    if not paths:
+        default_src = Path("src")
+        if default_src.is_dir():
+            paths = [default_src]
+        else:
+            paths = [Path(__file__).resolve().parent]
+    select = args.select.split(",") if args.select else None
+    report = lint_paths(paths, select=select)
+    output = render_json(report) if args.json else render_human(report)
+    print(output, end="" if args.json else "\n")
+    return report.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "no_cache", False):
@@ -512,6 +561,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_profile(args)
     if args.command == "theory":
         return _cmd_theory(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

@@ -20,6 +20,11 @@ Successors                ``num_successors``                     5
 Additional fields capture details the paper fixes implicitly (the 5-tick
 decision cadence for Sybil strategies, §IV-B) or leaves under-specified
 (see DESIGN.md "Interpretation decisions").
+
+Every field declared here must be *read* somewhere outside this module —
+reprolint rule R005 (config-drift) fails the build on dead knobs, so a
+refactor cannot silently disconnect a paper variable from the simulator
+(see docs/static-analysis.md).
 """
 
 from __future__ import annotations

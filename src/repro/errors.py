@@ -19,6 +19,8 @@ __all__ = [
     "StrategyError",
     "TrialError",
     "ExperimentError",
+    "PersistenceError",
+    "LintError",
 ]
 
 
@@ -110,3 +112,16 @@ class TrialError(SimulationError):
 
 class ExperimentError(ReproError):
     """An experiment specification cannot be satisfied."""
+
+
+class PersistenceError(ReproError, ValueError):
+    """A persisted document is malformed or has an unknown format tag.
+
+    Subclasses ``ValueError`` so callers that historically caught
+    ``ValueError`` around :mod:`repro.sim.persistence` loads keep
+    working.
+    """
+
+
+class LintError(ReproError):
+    """The static-analysis subsystem was misused (bad path, unknown rule)."""

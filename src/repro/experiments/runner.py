@@ -115,7 +115,8 @@ def run_with_manifest(
     n_jobs: int = 1,
 ) -> tuple[ExperimentResult, RunManifest]:
     """Run one experiment and build its manifest."""
-    started = time.time()
+    # absolute timestamp: manifest provenance, never simulation state
+    started = time.time()  # reprolint: disable=R002 (provenance)
     result = run_experiment(
         experiment_id, scale=scale, seed=seed, n_jobs=n_jobs
     )

@@ -18,7 +18,7 @@ from repro.config import SimulationConfig
 from repro.experiments.spec import ExperimentResult, resolve_scale, trials_for
 from repro.metrics.balance import load_stats
 from repro.sim.engine import TickEngine
-from repro.util.rng import spawn_seeds
+from repro.util.rng import make_rng, spawn_seeds
 
 __all__ = ["run", "PAPER_TABLE1", "GRID"]
 
@@ -58,7 +58,7 @@ def measure_initial_distribution(
     for i, child in enumerate(spawn_seeds(seed, n_trials)):
         engine = TickEngine(
             SimulationConfig(n_nodes=n_nodes, n_tasks=n_tasks),
-            rng=np.random.Generator(np.random.PCG64(child)),
+            rng=make_rng(child),
         )
         stats = load_stats(engine.network_loads())
         medians[i] = stats.median

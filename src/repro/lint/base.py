@@ -1,0 +1,126 @@
+"""Rule machinery: file contexts, rule base classes, and the registry.
+
+A rule is a small class with a stable ``rule_id`` (``R00x``), a
+``name``, a default ``severity``, and one of two shapes:
+
+* :class:`Rule` — per-file; ``check(ctx)`` yields findings for one
+  parsed module.  Most rules are plain ``ast.NodeVisitor`` subclasses.
+* :class:`ProjectRule` — cross-file; ``check_project(ctxs)`` sees every
+  collected file at once (config-drift and schema-version checks need
+  the whole tree).
+
+Rules register themselves via the :func:`register` decorator at import
+time; :func:`all_rules` returns them in rule-id order so engine output
+is deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterable, Iterator, Type, Union
+
+from repro.errors import LintError
+from repro.lint.findings import Finding, Severity
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "resolve_rules",
+]
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, as seen by every rule."""
+
+    path: str  # relative to the lint root, posix separators
+    source: str
+    tree: ast.Module
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def posix(self) -> PurePosixPath:
+        return PurePosixPath(self.path)
+
+    def in_dirs(self, *dirnames: str) -> bool:
+        """Whether the file sits under any of the given directory names."""
+        parts = self.posix.parts[:-1]
+        return any(d in parts for d in dirnames)
+
+    def is_file(self, *filenames: str) -> bool:
+        """Whether the file's path ends with one of ``pkg/name.py`` tails."""
+        return any(self.path.endswith(tail) for tail in filenames)
+
+
+class Rule:
+    """Per-file rule.  Subclasses set the class attributes and ``check``."""
+
+    rule_id: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Cross-file rule; receives every collected file at once."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, ctxs: list[FileContext]
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the global registry."""
+    if not cls.rule_id:
+        raise LintError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise LintError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, instantiated, in rule-id order."""
+    return [_REGISTRY[rid]() for rid in sorted(_REGISTRY)]
+
+
+def resolve_rules(selected: Union[Iterable[str], None]) -> list[Rule]:
+    """Rules restricted to ``selected`` ids (all when ``None``)."""
+    rules = all_rules()
+    if selected is None:
+        return rules
+    wanted = {s.strip() for s in selected if s.strip()}
+    unknown = wanted - {r.rule_id for r in rules}
+    if unknown:
+        raise LintError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(_REGISTRY))}"
+        )
+    return [r for r in rules if r.rule_id in wanted]

@@ -1,0 +1,62 @@
+"""Finding records — what a lint rule reports.
+
+Findings order and serialize deterministically: the JSON renderer in
+:mod:`repro.lint.engine` is byte-stable across runs of the same tree, so
+CI can archive and diff lint artifacts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Finding", "Severity"]
+
+
+class Severity(str, enum.Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` findings fail the run; ``WARNING`` findings are printed but
+    exit 0.  Every shipped rule defaults to ``ERROR`` — the invariants
+    they check are correctness guarantees, not style preferences.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is stored relative to the lint root (posix separators) so
+    output does not leak absolute paths and stays stable across
+    machines.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )

@@ -1,0 +1,149 @@
+"""R004 error-discipline: narrow excepts, typed raises.
+
+Two related invariants:
+
+* **No broad exception handlers** anywhere: a bare ``except:`` (or
+  ``except Exception`` / ``except BaseException``) swallows programming
+  errors and — worse, in this codebase — ``KeyboardInterrupt``-adjacent
+  pool failures that the trial runner must observe to retry correctly.
+  A broad handler is allowed only when it visibly re-raises (cleanup
+  handlers ending in bare ``raise``); anything else needs a per-line
+  suppression with a justification.
+
+* **Core modules raise only :mod:`repro.errors` types** (scope:
+  ``sim/``, ``chord/``, ``core/``, ``hashspace/``): callers are promised
+  they can catch ``ReproError`` for any library failure.  Protocol
+  builtins stay allowed — ``KeyError``/``IndexError`` for mapping and
+  sequence protocols, ``TypeError`` for programming errors,
+  ``NotImplementedError`` and ``StopIteration`` for their usual roles.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import FileContext, Rule, register
+from repro.lint.findings import Finding
+
+__all__ = ["ErrorDiscipline"]
+
+_BROAD = ("Exception", "BaseException")
+
+#: Builtin exceptions core modules may raise (protocol conventions).
+_ALLOWED_BUILTIN_RAISES = {
+    "KeyError",
+    "IndexError",
+    "TypeError",
+    "NotImplementedError",
+    "StopIteration",
+    "StopAsyncIteration",
+    "AssertionError",
+}
+
+#: Builtin exception names that must not be raised from core modules.
+_BUILTIN_EXCEPTIONS = {
+    "Exception",
+    "BaseException",
+    "ValueError",
+    "RuntimeError",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "OverflowError",
+    "OSError",
+    "IOError",
+    "LookupError",
+    "AttributeError",
+    "NameError",
+    "SystemExit",
+    "KeyboardInterrupt",
+    "EOFError",
+    "MemoryError",
+    "RecursionError",
+}
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a bare ``raise``."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+def _exception_names(node: ast.AST | None) -> list[tuple[str, ast.AST]]:
+    """Names in an ``except`` clause type (handles tuples)."""
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        out: list[tuple[str, ast.AST]] = []
+        for elt in node.elts:
+            out.extend(_exception_names(elt))
+        return out
+    if isinstance(node, ast.Name):
+        return [(node.id, node)]
+    if isinstance(node, ast.Attribute):
+        return [(node.attr, node)]
+    return []
+
+
+@register
+class ErrorDiscipline(Rule):
+    """R004: no broad excepts; core modules raise repro.errors types."""
+
+    rule_id = "R004"
+    name = "error-discipline"
+    summary = "no bare/broad except; core raises only repro.errors types"
+
+    CORE_DIRS = ("sim", "chord", "core", "hashspace")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        core = ctx.in_dirs(*self.CORE_DIRS)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(ctx, node)
+            elif isinstance(node, ast.Raise) and core:
+                yield from self._check_raise(ctx, node)
+
+    def _check_handler(
+        self, ctx: FileContext, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(
+                ctx,
+                node,
+                "bare `except:` swallows everything including "
+                "KeyboardInterrupt — name the exceptions you expect",
+            )
+            return
+        for name, _ in _exception_names(node.type):
+            if name in _BROAD and not _reraises(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"broad `except {name}` without re-raise — catch "
+                    "specific types (repro.errors.*) or re-raise; if "
+                    "this is a worker/cleanup boundary, suppress with "
+                    "a justification",
+                )
+
+    def _check_raise(
+        self, ctx: FileContext, node: ast.Raise
+    ) -> Iterator[Finding]:
+        exc = node.exc
+        if exc is None:  # bare re-raise
+            return
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        for name, _ in _exception_names(exc):
+            if (
+                name in _BUILTIN_EXCEPTIONS
+                and name not in _ALLOWED_BUILTIN_RAISES
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"core module raises builtin `{name}` — raise a "
+                    "repro.errors type instead so callers can catch "
+                    "ReproError uniformly",
+                )

@@ -1,0 +1,177 @@
+"""R003 uint64-arithmetic: id math must stay unsigned.
+
+The simulator stores ring identifiers as ``uint64`` arrays and relies on
+NEP 50 semantics (numpy >= 2.0): mixing a uint64 array with a Python
+*float* silently promotes the whole expression to ``float64``, which has
+53 bits of mantissa — ids above 2**53 lose low bits and two distinct
+identifiers can collapse into one.  Signed subtraction is the other
+trap: ``a - b`` on uint64 wraps modulo 2**64, which is exactly right for
+ring distances *when done deliberately* and silently wrong everywhere
+else.
+
+The blessed helpers in ``sim/arcops.py`` and ``sim/state.py`` own that
+deliberate wraparound math; outside them this rule flags arithmetic on
+uint64-tainted names that mixes in floats or uses bare subtraction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import FileContext, Rule, register
+from repro.lint.findings import Finding
+
+__all__ = ["Uint64Arithmetic", "BLESSED_UINT64_MODULES"]
+
+#: Modules that implement the deliberate wraparound arithmetic everyone
+#: else must call instead of hand-rolling.
+BLESSED_UINT64_MODULES = (
+    "sim/arcops.py",
+    "sim/state.py",
+    "hashspace/idspace.py",
+)
+
+
+def _is_uint64_marker(node: ast.AST) -> bool:
+    """``np.uint64`` / ``numpy.uint64`` / the string ``"uint64"``."""
+    if isinstance(node, ast.Constant) and node.value == "uint64":
+        return True
+    if isinstance(node, ast.Attribute) and node.attr == "uint64":
+        base = node.value
+        return isinstance(base, ast.Name) and base.id in ("np", "numpy")
+    return False
+
+
+def _taints_uint64(value: ast.AST) -> bool:
+    """Whether an assigned expression produces uint64 data.
+
+    Recognized forms: ``np.uint64(x)``, any call carrying
+    ``dtype=np.uint64`` / ``dtype="uint64"``, and ``x.astype(np.uint64)``.
+    """
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if _is_uint64_marker(func):
+        return True
+    if isinstance(func, ast.Attribute) and func.attr == "astype":
+        return bool(value.args) and _is_uint64_marker(value.args[0])
+    for kw in value.keywords:
+        if kw.arg == "dtype" and _is_uint64_marker(kw.value):
+            return True
+    return False
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    """Float literals and explicit float(...) conversions."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    return False
+
+
+class _Scope(ast.NodeVisitor):
+    """Collect uint64-tainted names for one function (or module) body."""
+
+    def __init__(self) -> None:
+        self.tainted: set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _taints_uint64(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.tainted.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and _taints_uint64(node.value):
+            if isinstance(node.target, ast.Name):
+                self.tainted.add(node.target.id)
+        self.generic_visit(node)
+
+
+@register
+class Uint64Arithmetic(Rule):
+    """R003: no float mixing or bare subtraction on uint64 id data.
+
+    A name becomes *tainted* when assigned from ``np.uint64(...)``, a
+    call with ``dtype=np.uint64``, or ``.astype(np.uint64)``.  Within
+    the same file this rule then flags:
+
+    * any arithmetic mixing a tainted name with a float literal or
+      ``float(...)`` call (NEP 50 promotes to float64, losing id bits);
+    * true division ``/`` of a tainted name (always produces float64);
+    * bare subtraction ``a - b`` or unary minus involving a tainted
+      name (uint64 wraparound) — use the blessed distance/arc helpers
+      in ``sim/arcops.py`` / ``sim/state.py`` instead.
+
+    The blessed modules themselves are exempt: they *are* the
+    wraparound implementation.
+    """
+
+    rule_id = "R003"
+    name = "uint64-arithmetic"
+    summary = "id math stays uint64; no float promotion or bare subtraction"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_file(*BLESSED_UINT64_MODULES):
+            return
+        scope = _Scope()
+        scope.visit(ctx.tree)
+        if not scope.tainted:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp):
+                yield from self._check_binop(ctx, node, scope.tainted)
+            elif isinstance(node, ast.UnaryOp):
+                if isinstance(node.op, ast.USub) and self._tainted(
+                    node.operand, scope.tainted
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "unary minus on uint64 data wraps modulo 2**64 — "
+                        "use the arc helpers in sim/arcops.py",
+                    )
+
+    @staticmethod
+    def _tainted(node: ast.AST, tainted: set[str]) -> bool:
+        return isinstance(node, ast.Name) and node.id in tainted
+
+    def _check_binop(
+        self, ctx: FileContext, node: ast.BinOp, tainted: set[str]
+    ) -> Iterator[Finding]:
+        left_t = self._tainted(node.left, tainted)
+        right_t = self._tainted(node.right, tainted)
+        if not (left_t or right_t):
+            return
+        if _is_floatish(node.left) or _is_floatish(node.right):
+            yield self.finding(
+                ctx,
+                node,
+                "uint64 data mixed with a float — NEP 50 promotes to "
+                "float64 and ids above 2**53 lose low bits; keep the "
+                "expression unsigned or go through sim/arcops.py",
+            )
+            return
+        if isinstance(node.op, ast.Div):
+            yield self.finding(
+                ctx,
+                node,
+                "true division of uint64 data produces float64 (id "
+                "precision loss above 2**53) — use // or the blessed "
+                "helpers",
+            )
+        elif isinstance(node.op, ast.Sub):
+            yield self.finding(
+                ctx,
+                node,
+                "bare subtraction on uint64 data wraps modulo 2**64 — "
+                "use the ring-distance helpers in sim/arcops.py / "
+                "sim/state.py",
+            )

@@ -1,0 +1,264 @@
+"""Cross-file rules: R005 config-drift and R006 schema-versioning.
+
+These rules see the whole collected tree at once.  When the tree does
+not contain the anchor files (``config.py`` for R005, ``sim/results.py``
++ ``sim/persistence.py`` for R006) — e.g. when linting a subdirectory —
+they pass silently rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.lint.base import FileContext, ProjectRule, register
+from repro.lint.findings import Finding
+
+__all__ = ["ConfigDrift", "SchemaVersioning", "KNOWN_RESULT_SCHEMAS"]
+
+
+def _find_ctx(
+    ctxs: list[FileContext], tail: str
+) -> Union[FileContext, None]:
+    """Shallowest collected file whose path ends with ``tail``."""
+    matches = [c for c in ctxs if c.path.endswith(tail)]
+    if not matches:
+        return None
+    return min(matches, key=lambda c: (len(c.posix.parts), c.path))
+
+
+def _dataclass_fields(tree: ast.Module, class_name: str) -> dict[str, int]:
+    """``{field_name: lineno}`` of annotated fields in a dataclass body."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return {
+                stmt.target.id: stmt.lineno
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not isinstance(stmt.annotation, ast.Constant)
+            }
+    return {}
+
+
+@register
+class ConfigDrift(ProjectRule):
+    """R005: every config knob must be read somewhere outside config.py.
+
+    Collects the annotated fields of ``SimulationConfig`` and
+    ``FailureModel`` from ``config.py``, then scans every other
+    collected file for an attribute read of that name (``cfg.n_nodes``,
+    ``self.churn_rate``, ...).  A field nobody reads is a dead knob:
+    either it silently stopped doing anything (a refactor dropped the
+    consumer) or it never did — both are bugs for a paper reproduction
+    that claims its config table matches the paper's variable table.
+
+    Generic access in ``config.py`` itself (``getattr(self, f.name)``
+    in ``as_dict``) deliberately does not count as a read.
+    """
+
+    rule_id = "R005"
+    name = "config-drift"
+    summary = "every SimulationConfig/FailureModel field is read somewhere"
+
+    CONFIG_CLASSES = ("SimulationConfig", "FailureModel")
+
+    def check_project(
+        self, ctxs: list[FileContext]
+    ) -> Iterator[Finding]:
+        config_ctx = _find_ctx(ctxs, "config.py")
+        if config_ctx is None:
+            return
+        fields: dict[str, int] = {}
+        for cls in self.CONFIG_CLASSES:
+            fields.update(_dataclass_fields(config_ctx.tree, cls))
+        if not fields:
+            return
+        unread = dict(fields)
+        for ctx in ctxs:
+            if ctx is config_ctx or not unread:
+                continue
+            for node in ast.walk(ctx.tree):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.attr in unread
+                ):
+                    del unread[node.attr]
+        for name in sorted(unread):
+            yield Finding(
+                rule=self.rule_id,
+                severity=self.severity,
+                path=config_ctx.path,
+                line=unread[name],
+                col=1,
+                message=(
+                    f"config field `{name}` is never read outside "
+                    "config.py — dead knob: wire it up or remove it"
+                ),
+            )
+
+
+#: Pinned schema manifest: on-disk format version -> the exact field set
+#: of ``SimulationResult`` that version serializes.  Changing the result
+#: dataclass without bumping ``RESULT_FORMAT`` (and recording the new
+#: field set here) invalidates every cached trial silently — R006 makes
+#: that a lint error instead.
+KNOWN_RESULT_SCHEMAS: dict[str, frozenset[str]] = {
+    "repro.simulation_result.v2": frozenset(
+        {
+            "config",
+            "runtime_ticks",
+            "ideal_ticks",
+            "completed",
+            "total_consumed",
+            "snapshots",
+            "timeseries",
+            "counters",
+            "final_loads",
+            "termination_reason",
+            "total_injected",
+            "n_survivors",
+        }
+    ),
+}
+
+
+def _result_format_value(tree: ast.Module) -> Union[str, None]:
+    """The string assigned to ``RESULT_FORMAT`` in persistence.py."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "RESULT_FORMAT"
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                ):
+                    return node.value.value
+    return None
+
+
+def _serialized_keys(tree: ast.Module) -> set[str]:
+    """String keys written by ``result_to_dict`` in persistence.py.
+
+    Covers both the dict-literal payload and later
+    ``payload["key"] = ...`` subscript assignments.
+    """
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name == "result_to_dict"
+        ):
+            keys: set[str] = set()
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Dict):
+                    for key in sub.keys:
+                        if isinstance(key, ast.Constant) and isinstance(
+                            key.value, str
+                        ):
+                            keys.add(key.value)
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.slice, ast.Constant)
+                            and isinstance(target.slice.value, str)
+                        ):
+                            keys.add(target.slice.value)
+            return keys
+    return set()
+
+
+@register
+class SchemaVersioning(ProjectRule):
+    """R006: SimulationResult field changes must bump RESULT_FORMAT.
+
+    Cross-checks ``sim/results.py`` against ``sim/persistence.py``:
+
+    1. every ``SimulationResult`` field must appear among the keys
+       ``result_to_dict`` serializes (a field that never reaches disk is
+       lost on a cache round-trip);
+    2. the current field set must exactly match the manifest pinned in
+       :data:`KNOWN_RESULT_SCHEMAS` for the current ``RESULT_FORMAT``
+       string — adding/removing/renaming a field without bumping the
+       version (and recording the new set) is flagged at the dataclass.
+    """
+
+    rule_id = "R006"
+    name = "schema-versioning"
+    summary = "SimulationResult field-set changes must bump RESULT_FORMAT"
+
+    def check_project(
+        self, ctxs: list[FileContext]
+    ) -> Iterator[Finding]:
+        results_ctx = _find_ctx(ctxs, "sim/results.py")
+        persist_ctx = _find_ctx(ctxs, "sim/persistence.py")
+        if results_ctx is None or persist_ctx is None:
+            return
+        fields = _dataclass_fields(results_ctx.tree, "SimulationResult")
+        if not fields:
+            return
+        serialized = _serialized_keys(persist_ctx.tree)
+        version = _result_format_value(persist_ctx.tree)
+
+        for name in sorted(fields):
+            if name not in serialized:
+                yield Finding(
+                    rule=self.rule_id,
+                    severity=self.severity,
+                    path=results_ctx.path,
+                    line=fields[name],
+                    col=1,
+                    message=(
+                        f"SimulationResult field `{name}` is not "
+                        "serialized by result_to_dict — it will be lost "
+                        "on a cache round-trip; serialize it and bump "
+                        "RESULT_FORMAT"
+                    ),
+                )
+
+        if version is None:
+            yield Finding(
+                rule=self.rule_id,
+                severity=self.severity,
+                path=persist_ctx.path,
+                line=1,
+                col=1,
+                message=(
+                    "RESULT_FORMAT string constant not found in "
+                    "persistence.py — the schema version anchor is gone"
+                ),
+            )
+            return
+        expected = KNOWN_RESULT_SCHEMAS.get(version)
+        actual = frozenset(fields)
+        if expected is None:
+            yield Finding(
+                rule=self.rule_id,
+                severity=self.severity,
+                path=persist_ctx.path,
+                line=1,
+                col=1,
+                message=(
+                    f"RESULT_FORMAT {version!r} is not recorded in "
+                    "repro.lint.rules_project.KNOWN_RESULT_SCHEMAS — "
+                    "pin its field set there when bumping the version"
+                ),
+            )
+        elif actual != expected:
+            added = ", ".join(sorted(actual - expected)) or "-"
+            removed = ", ".join(sorted(expected - actual)) or "-"
+            yield Finding(
+                rule=self.rule_id,
+                severity=self.severity,
+                path=results_ctx.path,
+                line=min(fields.values()),
+                col=1,
+                message=(
+                    f"SimulationResult field set changed (added: {added}; "
+                    f"removed: {removed}) but RESULT_FORMAT is still "
+                    f"{version!r} — bump the version in sim/persistence.py "
+                    "and record the new field set in KNOWN_RESULT_SCHEMAS"
+                ),
+            )

@@ -1,0 +1,307 @@
+"""R001 rng-discipline and R002 nondeterminism-hazard.
+
+Both rules defend the same guarantee from different directions: every
+stochastic draw in a seeded run must come from a ``numpy.random.Generator``
+that was derived (via :mod:`repro.util.rng`) from the run's
+``SeedSequence``, and nothing else in the simulation may observe
+run-to-run-varying state (wall clock, OS entropy, hash-order of sets).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import FileContext, Rule, register
+from repro.lint.findings import Finding
+
+__all__ = ["RngDiscipline", "NondeterminismHazard"]
+
+#: The one module allowed to construct generators from raw seeds.
+RNG_MODULE_TAIL = "util/rng.py"
+
+#: ``np.random.<name>`` calls that mint or mutate RNG state, or sample
+#: from the *global* generator.  ``SeedSequence`` is deliberately absent:
+#: deriving child seeds is bookkeeping, not sampling, and the trial
+#: runner does it far from util/rng.py.
+_BANNED_NP_RANDOM = {
+    "default_rng",
+    "seed",
+    "get_state",
+    "set_state",
+    "Generator",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+    # legacy global-state samplers
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "bytes",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "beta",
+    "binomial",
+    "poisson",
+    "exponential",
+    "gamma",
+    "geometric",
+    "zipf",
+}
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``np.random.default_rng`` -> ["np", "random", "default_rng"]."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        return []
+    return parts[::-1]
+
+
+@register
+class RngDiscipline(Rule):
+    """R001: randomness flows only through ``repro.util.rng``.
+
+    Flags, outside ``util/rng.py``:
+
+    * ``import random`` / ``from random import ...`` (the stdlib global
+      Mersenne Twister — unseedable per-run, shared process state);
+    * ``np.random.default_rng`` / ``np.random.seed`` /
+      ``np.random.Generator(...)`` and friends (ad-hoc generator
+      construction bypasses the SeedSequence spawn tree);
+    * legacy ``np.random.<sampler>()`` calls that draw from numpy's
+      hidden global generator.
+
+    RNG must arrive as a ``numpy.random.Generator`` *parameter*, built
+    by :func:`repro.util.rng.make_rng` or spawned by the trial runner.
+    Annotations (``rng: np.random.Generator``) are not calls and are
+    never flagged.
+    """
+
+    rule_id = "R001"
+    name = "rng-discipline"
+    summary = "randomness must flow through util/rng.py Generators"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_file(RNG_MODULE_TAIL):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "stdlib `import random` — draw from the "
+                            "np.random.Generator parameter instead "
+                            "(see util/rng.py)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "`from random import ...` — stdlib global RNG "
+                        "is not seed-reproducible here; use the "
+                        "Generator parameter",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if (
+                    len(chain) >= 3
+                    and chain[-2] == "random"
+                    and chain[0] in ("np", "numpy")
+                    and chain[-1] in _BANNED_NP_RANDOM
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{'.'.join(chain)}(...)` outside util/rng.py — "
+                        "construct generators with "
+                        "repro.util.rng.make_rng and pass them down",
+                    )
+
+
+#: Wall-clock / entropy calls banned inside simulation logic.
+#: ``time.perf_counter`` is included: even duration measurement is
+#: nondeterministic state, so it needs an explicit allowlist entry or a
+#: justified suppression.  ``time.sleep`` is not here — it observes
+#: nothing.
+_BANNED_TIME_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("os", "urandom"),
+    ("os", "getrandom"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid3"),
+    ("uuid", "uuid4"),
+    ("uuid", "uuid5"),
+    ("secrets", "token_bytes"),
+    ("secrets", "token_hex"),
+    ("secrets", "randbelow"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+}
+
+#: Files allowed to read the wall clock: user-facing reporting, where
+#: elapsed-seconds output is the point and never feeds simulation state.
+WALLCLOCK_ALLOWLIST = ("repro/cli.py",)
+
+#: Builtins through which consuming a set is order-safe.
+_ORDER_SAFE_CONSUMERS = {"sorted", "len", "sum", "min", "max", "any", "all"}
+#: Builtins that materialize iteration order (hash order escapes).
+_ORDER_EXPOSING_CONSUMERS = {"list", "tuple", "enumerate", "iter", "next"}
+
+
+def _is_setlike(node: ast.AST) -> bool:
+    """Expressions that statically evaluate to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_setlike(node.left) or _is_setlike(node.right)
+    return False
+
+
+@register
+class NondeterminismHazard(Rule):
+    """R002: no run-varying state inside ordering-sensitive logic.
+
+    Scope: ``sim/``, ``chord/``, ``core/``, ``experiments/`` (plus
+    ``hashspace/``) — the layers whose outputs are fingerprint-pinned.
+    Flags:
+
+    * wall-clock / entropy calls (``time.time``, ``time.monotonic``,
+      ``os.urandom``, ``uuid.*``, ``datetime.now``, ...);
+    * ``id()``-keyed containers and ``key=id`` sort keys (CPython
+      addresses vary run to run);
+    * iterating a set (``for x in set(...)``, ``list({...})``,
+      comprehensions over set expressions): hash order is not part of
+      the reproducibility contract — wrap in ``sorted(...)`` instead.
+
+    ``repro/cli.py`` is allowlisted for wall-clock reporting; anything
+    else needs a per-line suppression with a justification.
+    """
+
+    rule_id = "R002"
+    name = "nondeterminism-hazard"
+    summary = "no wall clock, uuid, id()-keys, or set-order in sim logic"
+
+    SCOPE_DIRS = ("sim", "chord", "core", "experiments", "hashspace")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if any(ctx.path.endswith(tail) for tail in WALLCLOCK_ALLOWLIST):
+            return
+        if not ctx.in_dirs(*self.SCOPE_DIRS):
+            return
+        for node in ast.walk(ctx.tree):
+            yield from self._check_clock_call(ctx, node)
+            yield from self._check_id_keys(ctx, node)
+            yield from self._check_set_order(ctx, node)
+
+    def _check_clock_call(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Iterator[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        chain = _attr_chain(node.func)
+        if len(chain) < 2:
+            return
+        # match on the last two components so `datetime.datetime.now`
+        # and `from os import urandom; urandom()` both resolve.
+        pair = (chain[-2], chain[-1])
+        if pair in _BANNED_TIME_CALLS:
+            yield self.finding(
+                ctx,
+                node,
+                f"`{'.'.join(chain)}()` in simulation code — wall clock "
+                "and OS entropy vary run to run; derive everything from "
+                "the seeded Generator (allowlist: cli.py reporting)",
+            )
+
+    def _check_id_keys(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if (
+                    kw.arg == "key"
+                    and isinstance(kw.value, ast.Name)
+                    and kw.value.id == "id"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "`key=id` — CPython object addresses vary run "
+                        "to run; sort by a stable attribute",
+                    )
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if (
+                    isinstance(key, ast.Call)
+                    and isinstance(key.func, ast.Name)
+                    and key.func.id == "id"
+                ):
+                    yield self.finding(
+                        ctx,
+                        key,
+                        "`id(...)`-keyed container — object addresses "
+                        "are not reproducible; key by a stable identity",
+                    )
+
+    def _check_set_order(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Iterator[Finding]:
+        message = (
+            "iterating a set exposes hash order to ordering-sensitive "
+            "logic — wrap in sorted(...) for a reproducible order"
+        )
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_setlike(
+            node.iter
+        ):
+            yield self.finding(ctx, node.iter, message)
+        elif isinstance(
+            node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for gen in node.generators:
+                if _is_setlike(gen.iter):
+                    yield self.finding(ctx, gen.iter, message)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_EXPOSING_CONSUMERS
+            and node.args
+            and _is_setlike(node.args[0])
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"`{node.func.id}(<set>)` materializes hash order — "
+                "use sorted(...) instead",
+            )

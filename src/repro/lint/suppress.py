@@ -1,0 +1,79 @@
+"""Suppression comments: silencing a rule at one line or one file.
+
+Syntax (both forms may list several rule ids, comma-separated):
+
+``# reprolint: disable=R001``
+    Trailing comment on the offending line; silences those rules for
+    findings reported *on that line only*.  Put a justification after
+    the rule list — ``# reprolint: disable=R002 (wall-clock provenance)``.
+
+``# reprolint: disable-file=R002``
+    Anywhere in the file (conventionally in the module docstring area);
+    silences those rules for the whole file.
+
+Comments are extracted with :mod:`tokenize` (the AST drops them), so
+suppressions inside strings do not count and multi-line statements
+suppress at the line the comment sits on.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_LINE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
+_FILE_RE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Z0-9,\s]+)")
+
+
+def _rule_ids(spec: str) -> frozenset[str]:
+    return frozenset(
+        part.strip() for part in spec.split(",") if part.strip()
+    )
+
+
+class Suppressions:
+    """Per-file suppression table, queried by (rule, line)."""
+
+    def __init__(
+        self,
+        file_rules: frozenset[str],
+        line_rules: dict[int, frozenset[str]],
+    ):
+        self.file_rules = file_rules
+        self.line_rules = line_rules
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_rules:
+            return True
+        return rule in self.line_rules.get(line, frozenset())
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every suppression comment from python source."""
+    file_rules: set[str] = set()
+    line_rules: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files are reported by the engine as syntax errors;
+        # suppression extraction just degrades to "none".
+        comments = []
+    for line, text in comments:
+        file_match = _FILE_RE.search(text)
+        if file_match:
+            file_rules.update(_rule_ids(file_match.group(1)))
+            continue
+        line_match = _LINE_RE.search(text)
+        if line_match:
+            line_rules[line] = line_rules.get(
+                line, frozenset()
+            ) | _rule_ids(line_match.group(1))
+    return Suppressions(frozenset(file_rules), line_rules)

@@ -16,6 +16,7 @@ from typing import Any
 import numpy as np
 
 from repro.config import SimulationConfig
+from repro.errors import PersistenceError
 from repro.metrics.balance import LoadStats
 from repro.metrics.histograms import Histogram
 from repro.metrics.timeseries import TickSeries
@@ -113,7 +114,9 @@ def result_to_dict(
 def result_from_dict(data: dict[str, Any]) -> SimulationResult:
     """Inverse of :func:`result_to_dict` (reads v1 and v2 documents)."""
     if data.get("format") not in _RESULT_FORMATS_READ:
-        raise ValueError(f"unknown result format {data.get('format')!r}")
+        raise PersistenceError(
+            f"unknown result format {data.get('format')!r}"
+        )
     config_data = dict(data["config"])
     config_data["snapshot_ticks"] = tuple(config_data.get("snapshot_ticks", ()))
     final = data.get("final_loads")
@@ -178,7 +181,9 @@ def _trialset_to_dict(trials: TrialSet) -> dict[str, Any]:
 
 def _trialset_from_dict(data: dict[str, Any]) -> TrialSet:
     if data.get("format") != TRIALSET_FORMAT:
-        raise ValueError(f"unknown trialset format {data.get('format')!r}")
+        raise PersistenceError(
+            f"unknown trialset format {data.get('format')!r}"
+        )
     config_data = dict(data["config"])
     config_data["snapshot_ticks"] = tuple(config_data.get("snapshot_ticks", ()))
     return TrialSet(
@@ -210,5 +215,7 @@ def save_sweep(trialsets: list[TrialSet], path: str | Path) -> Path:
 def load_sweep(path: str | Path) -> list[TrialSet]:
     data = json.loads(Path(path).read_text())
     if data.get("format") != SWEEP_FORMAT:
-        raise ValueError(f"unknown sweep format {data.get('format')!r}")
+        raise PersistenceError(
+            f"unknown sweep format {data.get('format')!r}"
+        )
     return [_trialset_from_dict(p) for p in data["points"]]

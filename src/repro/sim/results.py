@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -107,7 +108,7 @@ class SimulationResult:
                 return snap
         raise KeyError(f"no snapshot recorded at tick {tick}")
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, Any]:
         return {
             "strategy": self.config.strategy,
             "n_nodes": self.config.n_nodes,
@@ -149,7 +150,7 @@ class TrialSet:
 
         return mean_ci(self.factors, confidence)
 
-    def compare_with(self, other: "TrialSet") -> dict:
+    def compare_with(self, other: "TrialSet") -> dict[str, Any]:
         """Statistical comparison against another TrialSet (Welch t)."""
         from repro.metrics.stats_tests import compare_factors
 

@@ -222,17 +222,22 @@ def _trial_worker(
     delay_ms = os.environ.get("REPRO_TRIAL_DELAY_MS")
     if delay_ms:
         time.sleep(int(delay_ms) / 1000.0)
-    t0 = time.perf_counter()
+    # trial duration is reporting metadata, never simulation state
+    t0 = time.perf_counter()  # reprolint: disable=R002 (duration meta)
     try:
         fn = trial_fn if trial_fn is not None else run_trial
         result = fn(config, seed_seq)
-        return (index, "ok", result, time.perf_counter() - t0)
-    except BaseException:
+        elapsed = time.perf_counter() - t0  # reprolint: disable=R002 (meta)
+        return (index, "ok", result, elapsed)
+    # worker boundary: *any* failure must come back as data, not take
+    # down the pool
+    except BaseException:  # reprolint: disable=R004 (worker boundary)
+        elapsed = time.perf_counter() - t0  # reprolint: disable=R002 (meta)
         return (
             index,
             "err",
             traceback.format_exc(limit=20),
-            time.perf_counter() - t0,
+            elapsed,
         )
 
 
@@ -290,10 +295,14 @@ def _run_batch_parallel(
                 pending, timeout=timeout, return_when=FIRST_COMPLETED
             )
             if not done:
-                for fut in pending:
+                # sorted: `pending` is a set; iterating it raw would
+                # attribute timeouts in hash order, making error order
+                # (and on_done bookkeeping) vary run to run.
+                stranded = sorted(pending, key=futures.__getitem__)
+                for fut in stranded:
                     fut.cancel()
                 _kill_workers(executor)
-                for fut in pending:
+                for fut in stranded:
                     on_done(
                         futures[fut],
                         "err",
@@ -302,11 +311,12 @@ def _run_batch_parallel(
                         float(timeout or 0.0),
                     )
                 return
-            for fut in done:
+            for fut in sorted(done, key=futures.__getitem__):
                 index = futures[fut]
                 try:
                     on_done(*fut.result())
-                except BaseException as exc:  # BrokenProcessPool, unpickle
+                # pool boundary: BrokenProcessPool / unpickle failures
+                except BaseException as exc:  # reprolint: disable=R004 (pool boundary)
                     on_done(index, "err", f"worker died: {exc!r}", 0.0)
     finally:
         executor.shutdown(wait=False, cancel_futures=True)

@@ -11,11 +11,13 @@ of an experiment get *spawned* child sequences, so
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, TypeVar
 
 import numpy as np
 
 __all__ = ["make_rng", "spawn_rngs", "spawn_seeds"]
+
+T = TypeVar("T")
 
 
 def make_rng(seed: int | None | np.random.SeedSequence = None) -> np.random.Generator:
@@ -44,9 +46,9 @@ def rng_state_fingerprint(rng: np.random.Generator) -> int:
     return hash(int(state))
 
 
-def interleave(seqs: Sequence[Sequence]) -> list:
+def interleave(seqs: Sequence[Sequence[T]]) -> list[T]:
     """Round-robin interleave several sequences (used by workload mixers)."""
-    out: list = []
+    out: list[T] = []
     iters = [iter(s) for s in seqs]
     alive = list(iters)
     while alive:

@@ -1,0 +1,384 @@
+"""reprolint tests: every rule proven to fire, clean snippets stay clean,
+self-lint of the real tree, deterministic JSON output, suppressions."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main as cli_main
+from repro.errors import LintError
+from repro.lint import all_rules, lint_paths, render_json
+from repro.lint.rules_project import KNOWN_RESULT_SCHEMAS
+
+SRC_DIR = Path(repro.__file__).resolve().parent
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+def run_rules(root: Path, *rules: str):
+    report = lint_paths([root], select=list(rules), root=root)
+    return report.findings
+
+
+def rule_ids(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+class TestRuleCatalogue:
+    def test_all_six_rules_registered(self):
+        ids = [r.rule_id for r in all_rules()]
+        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+
+    def test_unknown_rule_id_rejected(self, tmp_path):
+        with pytest.raises(LintError):
+            lint_paths([tmp_path], select=["R999"])
+
+
+class TestR001RngDiscipline:
+    def test_fires_on_stdlib_random_and_default_rng(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/bad.py": (
+                    "import random\n"
+                    "import numpy as np\n"
+                    "rng = np.random.default_rng(0)\n"
+                    "x = np.random.rand(3)\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R001")
+        assert rule_ids(findings) == {"R001"}
+        assert len(findings) == 3
+
+    def test_clean_generator_parameter_and_rng_module(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/good.py": (
+                    "import numpy as np\n"
+                    "def sample(rng: np.random.Generator) -> float:\n"
+                    "    return float(rng.normal())\n"
+                ),
+                # the one module allowed to mint generators
+                "repro/util/rng.py": (
+                    "import numpy as np\n"
+                    "def make_rng(seed):\n"
+                    "    return np.random.default_rng(seed)\n"
+                ),
+            },
+        )
+        assert run_rules(tmp_path, "R001") == []
+
+
+class TestR002NondeterminismHazard:
+    def test_fires_on_clock_set_order_and_id_keys(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/bad.py": (
+                    "import time\n"
+                    "t = time.time()\n"
+                    "for x in set([3, 1, 2]):\n"
+                    "    print(x)\n"
+                    "order = sorted([], key=id)\n"
+                    "exposed = list({1, 2})\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R002")
+        assert rule_ids(findings) == {"R002"}
+        assert len(findings) == 4
+
+    def test_clean_sorted_sets_and_cli_allowlist(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/good.py": (
+                    "for x in sorted(set([3, 1, 2])):\n"
+                    "    print(x)\n"
+                    "n = len(set([1, 2]))\n"
+                ),
+                # wall-clock reporting is the CLI's job (allowlist)
+                "repro/cli.py": "import time\nt0 = time.perf_counter()\n",
+                # out-of-scope layer: viz may do what it likes
+                "repro/viz/free.py": "import time\nt = time.time()\n",
+            },
+        )
+        assert run_rules(tmp_path, "R002") == []
+
+
+class TestR003Uint64Arithmetic:
+    def test_fires_on_float_mix_division_and_subtraction(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/bad.py": (
+                    "import numpy as np\n"
+                    "ids = np.asarray([1, 2], dtype=np.uint64)\n"
+                    "a = ids - 1\n"
+                    "b = ids / 2\n"
+                    "c = ids * 0.5\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R003")
+        assert rule_ids(findings) == {"R003"}
+        assert len(findings) == 3
+
+    def test_clean_blessed_module_and_unsigned_math(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                # blessed wraparound implementation is exempt
+                "repro/sim/arcops.py": (
+                    "import numpy as np\n"
+                    "ids = np.asarray([1, 2], dtype=np.uint64)\n"
+                    "d = ids - np.uint64(1)\n"
+                ),
+                "repro/sim/good.py": (
+                    "import numpy as np\n"
+                    "ids = np.asarray([1, 2], dtype=np.uint64)\n"
+                    "half = ids // 2\n"
+                    "s = ids + np.uint64(1)\n"
+                ),
+            },
+        )
+        assert run_rules(tmp_path, "R003") == []
+
+
+class TestR004ErrorDiscipline:
+    def test_fires_on_bare_broad_and_builtin_raise(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/bad.py": (
+                    "def f():\n"
+                    "    try:\n"
+                    "        g()\n"
+                    "    except:\n"
+                    "        pass\n"
+                    "def h():\n"
+                    "    try:\n"
+                    "        g()\n"
+                    "    except Exception:\n"
+                    "        return None\n"
+                    "def r():\n"
+                    "    raise ValueError('core module')\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R004")
+        assert rule_ids(findings) == {"R004"}
+        assert len(findings) == 3
+
+    def test_clean_reraise_typed_raise_and_non_core_scope(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/good.py": (
+                    "from repro.errors import SimulationError\n"
+                    "def f():\n"
+                    "    try:\n"
+                    "        g()\n"
+                    "    except Exception:\n"
+                    "        cleanup()\n"
+                    "        raise\n"
+                    "def r():\n"
+                    "    raise SimulationError('typed')\n"
+                    "def lookup(d, k):\n"
+                    "    if k not in d:\n"
+                    "        raise KeyError(k)\n"
+                    "    return d[k]\n"
+                ),
+                # raise-discipline only binds the core layers
+                "repro/analysis/free.py": (
+                    "def f():\n"
+                    "    raise ValueError('analysis may')\n"
+                ),
+            },
+        )
+        assert run_rules(tmp_path, "R004") == []
+
+
+class TestR005ConfigDrift:
+    CONFIG = (
+        "class SimulationConfig:\n"
+        "    n_nodes: int = 10\n"
+        "    dead_knob: float = 0.5\n"
+        "class FailureModel:\n"
+        "    crash_fraction: float = 0.0\n"
+    )
+
+    def test_fires_on_unread_field(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/config.py": self.CONFIG,
+                "repro/sim/engine.py": (
+                    "def run(cfg):\n"
+                    "    return cfg.n_nodes + cfg.failures.crash_fraction\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R005")
+        assert len(findings) == 1
+        assert findings[0].rule == "R005"
+        assert "dead_knob" in findings[0].message
+        assert findings[0].path == "repro/config.py"
+
+    def test_clean_when_every_field_is_read(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/config.py": self.CONFIG,
+                "repro/sim/engine.py": (
+                    "def run(cfg):\n"
+                    "    x = cfg.n_nodes + cfg.dead_knob\n"
+                    "    return x + cfg.failures.crash_fraction\n"
+                ),
+            },
+        )
+        assert run_rules(tmp_path, "R005") == []
+
+
+def _schema_tree(extra_field: str | None = None) -> dict[str, str]:
+    """Mini results/persistence pair matching the pinned v2 schema."""
+    fields = sorted(KNOWN_RESULT_SCHEMAS["repro.simulation_result.v2"])
+    if extra_field:
+        fields.append(extra_field)
+    results = "class SimulationResult:\n" + "".join(
+        f"    {name}: int = 0\n" for name in fields
+    )
+    keys = ",\n".join(
+        f'        "{name}": 0'
+        for name in sorted(KNOWN_RESULT_SCHEMAS["repro.simulation_result.v2"])
+    )
+    persistence = (
+        'RESULT_FORMAT = "repro.simulation_result.v2"\n'
+        "def result_to_dict(result):\n"
+        "    payload = {\n" + keys + "\n    }\n"
+        "    return payload\n"
+    )
+    return {
+        "repro/sim/results.py": results,
+        "repro/sim/persistence.py": persistence,
+    }
+
+
+class TestR006SchemaVersioning:
+    def test_fires_on_field_change_without_version_bump(self, tmp_path):
+        write_tree(tmp_path, _schema_tree(extra_field="new_field"))
+        findings = run_rules(tmp_path, "R006")
+        assert rule_ids(findings) == {"R006"}
+        # the new field is both unserialized and a manifest mismatch
+        assert len(findings) == 2
+        assert any("not serialized" in f.message for f in findings)
+        assert any("bump the version" in f.message for f in findings)
+
+    def test_clean_when_fields_match_pinned_schema(self, tmp_path):
+        write_tree(tmp_path, _schema_tree())
+        assert run_rules(tmp_path, "R006") == []
+
+    def test_fires_on_unknown_version_string(self, tmp_path):
+        tree = _schema_tree()
+        tree["repro/sim/persistence.py"] = tree[
+            "repro/sim/persistence.py"
+        ].replace("v2", "v99")
+        write_tree(tmp_path, tree)
+        findings = run_rules(tmp_path, "R006")
+        assert any("KNOWN_RESULT_SCHEMAS" in f.message for f in findings)
+
+
+class TestSuppressions:
+    def test_line_suppression(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/s.py": (
+                    "import random  # reprolint: disable=R001 (why)\n"
+                ),
+            },
+        )
+        report = lint_paths([tmp_path], select=["R001"], root=tmp_path)
+        assert report.findings == []
+        assert report.n_suppressed == 1
+
+    def test_file_suppression(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/s.py": (
+                    "# reprolint: disable-file=R002\n"
+                    "import time\n"
+                    "a = time.time()\n"
+                    "b = time.monotonic()\n"
+                ),
+            },
+        )
+        report = lint_paths([tmp_path], select=["R002"], root=tmp_path)
+        assert report.findings == []
+        assert report.n_suppressed == 2
+
+    def test_suppressing_one_rule_keeps_others(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/s.py": (
+                    "import random  # reprolint: disable=R002\n"
+                ),
+            },
+        )
+        report = lint_paths([tmp_path], select=["R001"], root=tmp_path)
+        assert len(report.findings) == 1
+
+
+class TestSelfLintAndDeterminism:
+    def test_repo_source_tree_is_clean(self):
+        report = lint_paths([SRC_DIR], root=SRC_DIR.parent)
+        assert report.findings == [], "\n".join(
+            f.render() for f in report.findings
+        )
+        assert report.exit_code == 0
+        assert report.n_files > 90
+
+    def test_cli_lint_exits_zero_on_src(self, capsys):
+        assert cli_main(["lint", str(SRC_DIR)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_json_output_is_byte_stable(self):
+        first = render_json(lint_paths([SRC_DIR], root=SRC_DIR.parent))
+        second = render_json(lint_paths([SRC_DIR], root=SRC_DIR.parent))
+        assert first == second
+        assert "timestamp" not in first
+
+    def test_json_cli_byte_stable_with_violations(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/bad.py": "import random\nimport time\n"
+                "t = time.time()\n",
+            },
+        )
+        outputs = []
+        for _ in range(2):
+            code = cli_main(["lint", str(tmp_path), "--json"])
+            assert code == 1
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("R001", "R002", "R003", "R004", "R005", "R006"):
+            assert rid in out
