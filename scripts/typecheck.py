@@ -53,6 +53,18 @@ def main() -> int:
         capture_output=True,
         text=True,
     )
+    # mypy exits 0 (clean) or 1 (type errors found); anything else is a
+    # crash, bad config, or usage error — nothing was actually checked,
+    # so the gate must fail loudly instead of reporting "clean".
+    if proc.returncode not in (0, 1):
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        print(
+            f"typecheck: mypy exited {proc.returncode} without a type "
+            "report — failing"
+        )
+        return 1
+
     baseline = load_baseline()
     used: set[str] = set()
     new_errors: list[str] = []
@@ -65,6 +77,14 @@ def main() -> int:
             print(f"[baseline] {line}")
         else:
             new_errors.append(line)
+
+    # Exit 1 with no parseable error lines means the output format
+    # drifted or errors went to stderr — failing blind beats passing.
+    if proc.returncode == 1 and not new_errors and not used:
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        print("typecheck: mypy failed but no error lines parsed — failing")
+        return 1
 
     for line in new_errors:
         print(line)

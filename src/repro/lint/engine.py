@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import ast
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence, Union
@@ -69,11 +70,19 @@ def _collect_files(paths: Sequence[Union[str, Path]]) -> list[Path]:
 
 
 def _relative_label(file: Path, root: Path) -> str:
-    """Posix-style path relative to the lint root (stable across hosts)."""
+    """Posix-style path relative to the lint root (stable across hosts).
+
+    Files outside the root keep explicit ``..`` segments: collapsing to
+    the bare filename would strip the directory parts that scope rules
+    like R002/R003 and could collide in the per-file suppression table
+    when two linted files share a basename.
+    """
     try:
-        return file.relative_to(root).as_posix()
+        return Path(os.path.relpath(file, root)).as_posix()
     except ValueError:
-        return file.name
+        # No relative route (e.g. different drives): fall back to the
+        # full path, which is still unique and keeps directory parts.
+        return file.as_posix()
 
 
 def lint_paths(

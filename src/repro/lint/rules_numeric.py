@@ -75,11 +75,25 @@ def _is_floatish(node: ast.AST) -> bool:
     return False
 
 
-class _Scope(ast.NodeVisitor):
-    """Collect uint64-tainted names for one function (or module) body."""
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 
-    def __init__(self) -> None:
-        self.tainted: set[str] = set()
+
+class _Scope(ast.NodeVisitor):
+    """Collect uint64-tainted names for one function (or module) body.
+
+    Nested function definitions are *not* descended into — each one is
+    its own scope, analysed separately with the enclosing taints (minus
+    its shadowing parameters) inherited.
+    """
+
+    def __init__(self, inherited: frozenset[str] = frozenset()) -> None:
+        self.tainted: set[str] = set(inherited)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # separate scope
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass  # separate scope
 
     def visit_Assign(self, node: ast.Assign) -> None:
         if _taints_uint64(node.value):
@@ -95,13 +109,49 @@ class _Scope(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _param_names(node: ast.AST) -> set[str]:
+    """Parameter names of a function definition (they shadow taints)."""
+    args = node.args  # type: ignore[attr-defined]
+    names = {
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    }
+    for special in (args.vararg, args.kwarg):
+        if special is not None:
+            names.add(special.arg)
+    return names
+
+
+def _scope_nodes(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Every node lexically inside this scope's body.
+
+    Stops at nested function boundaries: the function node itself is
+    yielded (so the caller can recurse into it as a new scope), but its
+    body is not entered.  Decorators and default-argument expressions
+    evaluate in the enclosing scope, so those children are still walked.
+    """
+    stack: list[ast.AST] = list(reversed(body))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _FUNCTION_NODES):
+            stack.extend(node.decorator_list)
+            stack.extend(node.args.defaults)
+            stack.extend(d for d in node.args.kw_defaults if d is not None)
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
 @register
 class Uint64Arithmetic(Rule):
     """R003: no float mixing or bare subtraction on uint64 id data.
 
     A name becomes *tainted* when assigned from ``np.uint64(...)``, a
-    call with ``dtype=np.uint64``, or ``.astype(np.uint64)``.  Within
-    the same file this rule then flags:
+    call with ``dtype=np.uint64``, or ``.astype(np.uint64)``.  Taint is
+    tracked per lexical scope (module level plus each function body,
+    with enclosing taints inherited minus shadowing parameters), so a
+    name assigned uint64 in one function does not taint its namesake in
+    another.  Within a tainted scope this rule then flags:
 
     * any arithmetic mixing a tainted name with a float literal or
       ``float(...)`` call (NEP 50 promotes to float64, losing id bits);
@@ -121,16 +171,32 @@ class Uint64Arithmetic(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.is_file(*BLESSED_UINT64_MODULES):
             return
-        scope = _Scope()
-        scope.visit(ctx.tree)
-        if not scope.tainted:
-            return
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.BinOp):
-                yield from self._check_binop(ctx, node, scope.tainted)
+        yield from self._check_scope(ctx, ctx.tree.body, frozenset())
+
+    def _check_scope(
+        self,
+        ctx: FileContext,
+        body: list[ast.stmt],
+        inherited: frozenset[str],
+    ) -> Iterator[Finding]:
+        """Flag hazards in one lexical scope, then recurse into nested
+        function scopes with the (shadowing-adjusted) taints."""
+        collector = _Scope(inherited)
+        for stmt in body:
+            collector.visit(stmt)
+        tainted = collector.tainted
+        for node in _scope_nodes(body):
+            if isinstance(node, _FUNCTION_NODES):
+                yield from self._check_scope(
+                    ctx,
+                    node.body,
+                    frozenset(tainted - _param_names(node)),
+                )
+            elif isinstance(node, ast.BinOp):
+                yield from self._check_binop(ctx, node, tainted)
             elif isinstance(node, ast.UnaryOp):
                 if isinstance(node.op, ast.USub) and self._tainted(
-                    node.operand, scope.tainted
+                    node.operand, tainted
                 ):
                     yield self.finding(
                         ctx,

@@ -24,8 +24,12 @@ import tokenize
 
 __all__ = ["Suppressions", "parse_suppressions"]
 
-_LINE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
-_FILE_RE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Z0-9,\s]+)")
+# Rule ids are captured strictly (R###, comma-separated) so free-text
+# justifications after the list — even uppercase ones like
+# ``disable=R002 WALL CLOCK`` — cannot merge into the id tokens.
+_RULE_LIST = r"R\d{3}(?:\s*,\s*R\d{3})*"
+_LINE_RE = re.compile(rf"#\s*reprolint:\s*disable=({_RULE_LIST})")
+_FILE_RE = re.compile(rf"#\s*reprolint:\s*disable-file=({_RULE_LIST})")
 
 
 def _rule_ids(spec: str) -> frozenset[str]:

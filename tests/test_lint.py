@@ -135,6 +135,47 @@ class TestR003Uint64Arithmetic:
         assert rule_ids(findings) == {"R003"}
         assert len(findings) == 3
 
+    def test_taint_is_scoped_per_function(self, tmp_path):
+        # `ids` is uint64 only inside f(); the plain-int `ids` in g()
+        # and the shadowing parameter in h() must not be flagged.
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/scoped.py": (
+                    "import numpy as np\n"
+                    "def f():\n"
+                    "    ids = np.asarray([1], dtype=np.uint64)\n"
+                    "    return ids - 1\n"
+                    "def g():\n"
+                    "    ids = 7\n"
+                    "    return ids - 1\n"
+                    "def h(ids):\n"
+                    "    return ids - 1\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R003")
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+    def test_nested_function_inherits_enclosing_taint(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/nested.py": (
+                    "import numpy as np\n"
+                    "def outer():\n"
+                    "    ids = np.asarray([1], dtype=np.uint64)\n"
+                    "    def inner():\n"
+                    "        return ids - 1\n"
+                    "    return inner\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R003")
+        assert len(findings) == 1
+        assert findings[0].line == 5
+
     def test_clean_blessed_module_and_unsigned_math(self, tmp_path):
         write_tree(
             tmp_path,
@@ -329,6 +370,25 @@ class TestSuppressions:
         assert report.findings == []
         assert report.n_suppressed == 2
 
+    def test_uppercase_justification_does_not_break_rule_list(
+        self, tmp_path
+    ):
+        # Free text after the rule list must not merge into the ids,
+        # even when it starts with uppercase letters or digits.
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/s.py": (
+                    "import time\n"
+                    "t = time.time()  "
+                    "# reprolint: disable=R002 WALL CLOCK 123\n"
+                ),
+            },
+        )
+        report = lint_paths([tmp_path], select=["R002"], root=tmp_path)
+        assert report.findings == []
+        assert report.n_suppressed == 1
+
     def test_suppressing_one_rule_keeps_others(self, tmp_path):
         write_tree(
             tmp_path,
@@ -340,6 +400,24 @@ class TestSuppressions:
         )
         report = lint_paths([tmp_path], select=["R001"], root=tmp_path)
         assert len(report.findings) == 1
+
+
+class TestOutOfRootLabels:
+    def test_directory_scoped_rules_apply_outside_root(self, tmp_path):
+        # A linted file outside the lint root keeps its directory parts
+        # (via `..` segments) so dir-scoped rules like R002 still apply
+        # and same-basename files cannot collide in the label space.
+        outside = write_tree(
+            tmp_path / "elsewhere",
+            {"repro/sim/bad.py": "import time\nt = time.time()\n"},
+        )
+        root = tmp_path / "rootdir"
+        root.mkdir()
+        report = lint_paths([outside], select=["R002"], root=root)
+        assert len(report.findings) == 1
+        label = report.findings[0].path
+        assert label.startswith("../")
+        assert label.endswith("elsewhere/repro/sim/bad.py")
 
 
 class TestSelfLintAndDeterminism:
