@@ -6,7 +6,7 @@ BENCH_BASELINE := benchmarks/BENCH_core_ops_slab.json
 BENCH_CURRENT  := benchmarks/.bench_current.json
 
 .PHONY: test lint typecheck bench bench-baseline bench-check \
-	sweep-resume-check check figures
+	sweep-resume-check obs-smoke check figures
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,9 +40,14 @@ bench-check: bench
 sweep-resume-check:
 	$(PYTHON) scripts/sweep_resume_check.py
 
+# run a tiny traced+profiled simulation, assert the JSONL parses and
+# that results are bit-identical with observability on or off
+obs-smoke:
+	$(PYTHON) scripts/obs_smoke.py
+
 # the full tier-1 gate: static analysis, unit/property tests, perf
-# regression, resume
-check: lint typecheck test bench-check sweep-resume-check
+# regression, resume, observability
+check: lint typecheck test bench-check sweep-resume-check obs-smoke
 
 figures:
 	$(PYTHON) -m repro.cli figures --out figures/

@@ -65,9 +65,19 @@ def utilization_auc(series: TickSeries) -> float:
     return float(util.mean()) if util.size else 0.0
 
 
-def profile_run(config: SimulationConfig) -> ConvergenceProfile:
-    """Run one simulation with time series on and summarize its trajectory."""
-    engine = TickEngine(config.with_updates(collect_timeseries=True))
+def profile_run(
+    config: SimulationConfig, *, profiler=None
+) -> ConvergenceProfile:
+    """Run one simulation with time series on and summarize its trajectory.
+
+    ``profiler`` optionally attaches a
+    :class:`~repro.obs.profile.PhaseProfiler` to the engine so the
+    caller gets a per-phase wall-clock breakdown alongside the
+    convergence numbers (``repro profile`` does this).
+    """
+    engine = TickEngine(
+        config.with_updates(collect_timeseries=True), profiler=profiler
+    )
     result = engine.run()
     series = result.timeseries
     assert series is not None

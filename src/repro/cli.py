@@ -15,9 +15,15 @@ Subcommands
     integer), ``--loss-rate``, ``--crash-detection-ticks``.
 ``repro figures [--out DIR]``
     Render the Figure 2/3 ring SVGs.
-``repro profile [--strategy S] ...``
+``repro profile [--strategy S] ... [--json]``
     Run one simulation with time series on and print its convergence
-    profile (utilization AUC, wasted node-ticks, ...).
+    profile (utilization AUC, wasted node-ticks, ...) plus the per-phase
+    wall-clock breakdown (strategy / churn / arrivals / consumption /
+    measurement).
+``repro trace [--strategy S] ... --out trace.jsonl [--kinds a,b] [--json]``
+    Run one simulation with a streaming JSONL event trace attached
+    (bounded memory; see :mod:`repro.obs`).  ``--kinds`` and ``--ticks``
+    filter at the sink, so a long run can capture only what matters.
 ``repro theory [--nodes N] [--tasks T]``
     Print the closed-form predictions for a network size next to a
     fresh measurement.
@@ -168,12 +174,48 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--out", type=Path, default=Path("figures"))
     fig_p.add_argument("--seed", type=int, default=0)
 
-    prof_p = sub.add_parser("profile", help="convergence profile of one run")
+    prof_p = sub.add_parser(
+        "profile",
+        help="convergence profile and per-phase timing of one run",
+    )
     prof_p.add_argument("--strategy", choices=STRATEGY_NAMES, default="none")
     prof_p.add_argument("--nodes", type=int, default=500)
     prof_p.add_argument("--tasks", type=int, default=50_000)
     prof_p.add_argument("--churn", type=float, default=0.0)
     prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON document instead of tables",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="one simulation with a streaming JSONL event trace"
+    )
+    trace_p.add_argument("--strategy", choices=STRATEGY_NAMES, default="none")
+    trace_p.add_argument("--nodes", type=int, default=500)
+    trace_p.add_argument("--tasks", type=int, default=50_000)
+    trace_p.add_argument("--churn", type=float, default=0.0)
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument(
+        "--out", type=Path, default=Path("trace.jsonl"),
+        help="JSONL file the event stream is written to",
+    )
+    trace_p.add_argument(
+        "--kinds", default=None,
+        help="comma-separated event kinds to keep (default: all)",
+    )
+    trace_p.add_argument(
+        "--ticks", default=None,
+        help="inclusive FIRST:LAST tick window to keep (default: all)",
+    )
+    trace_p.add_argument(
+        "--buffer", type=int, default=256,
+        help="events buffered in memory between writes",
+    )
+    trace_p.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON summary instead of text",
+    )
 
     theory_p = sub.add_parser(
         "theory", help="closed-form predictions vs one measurement"
@@ -442,7 +484,68 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    import json as _json
+
     from repro.analysis.convergence import profile_run
+    from repro.obs import PhaseProfiler, jsonable
+    from repro.util.tables import format_kv, format_table
+
+    config = SimulationConfig(
+        strategy=args.strategy,
+        n_nodes=args.nodes,
+        n_tasks=args.tasks,
+        churn_rate=args.churn,
+        seed=args.seed,
+    )
+    profiler = PhaseProfiler()
+    profile = profile_run(config, profiler=profiler)
+    if args.json:
+        # sorted keys + deterministic phase ordering: byte-stable for a
+        # fixed clock (tests inject one), structure-stable always
+        payload = {
+            "convergence": {"strategy": args.strategy, **profile.as_dict()},
+            "profile": profiler.as_dict(),
+        }
+        print(_json.dumps(jsonable(payload), indent=2, sort_keys=True))
+        return 0
+    print(format_kv({"strategy": args.strategy, **profile.as_dict()}))
+    breakdown = profiler.as_dict()
+    total = breakdown["total_seconds"]
+    rows = [
+        [
+            name,
+            entry["calls"],
+            f"{entry['seconds']:.4f}",
+            f"{100.0 * entry['seconds'] / total:.1f}%" if total else "-",
+        ]
+        for name, entry in breakdown["phases"].items()
+    ]
+    print()
+    print(
+        format_table(
+            ["phase", "calls", "seconds", "share"],
+            rows,
+            title=f"per-phase wall clock ({total:.4f}s total)",
+        )
+    )
+    return 0
+
+
+def _parse_tick_window(spec: str) -> tuple[int, int]:
+    try:
+        first, last = spec.split(":")
+        return int(first), int(last)
+    except ValueError:
+        raise SystemExit(
+            f"--ticks must look like FIRST:LAST, got {spec!r}"
+        ) from None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import JsonlTraceSink, result_fingerprint
+    from repro.sim.engine import TickEngine
     from repro.util.tables import format_kv
 
     config = SimulationConfig(
@@ -452,8 +555,33 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         churn_rate=args.churn,
         seed=args.seed,
     )
-    profile = profile_run(config)
-    print(format_kv({"strategy": args.strategy, **profile.as_dict()}))
+    kinds = (
+        [k.strip() for k in args.kinds.split(",") if k.strip()]
+        if args.kinds
+        else None
+    )
+    tick_range = _parse_tick_window(args.ticks) if args.ticks else None
+    with JsonlTraceSink(
+        args.out,
+        kinds=kinds,
+        tick_range=tick_range,
+        buffer_events=args.buffer,
+    ) as sink:
+        result = TickEngine(config, trace=sink).run()
+    payload = {
+        "out": str(args.out),
+        "runtime_ticks": result.runtime_ticks,
+        "completed": result.completed,
+        "events_written": sink.n_written,
+        "events_by_kind": {k: sink.by_kind[k] for k in sorted(sink.by_kind)},
+        "fingerprint": result_fingerprint(result),
+    }
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    by_kind = payload.pop("events_by_kind")
+    payload.update({f"events[{k}]": v for k, v in by_kind.items()})
+    print(format_kv(payload))
     return 0
 
 
@@ -559,6 +687,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_figures(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "theory":
         return _cmd_theory(args)
     if args.command == "lint":

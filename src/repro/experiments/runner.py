@@ -25,6 +25,7 @@ from typing import Any
 
 from repro.experiments.registry import run_experiment
 from repro.experiments.spec import ExperimentResult
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.cache import (
     CACHE_SCHEMA_VERSION,
     cache_enabled,
@@ -33,7 +34,9 @@ from repro.sim.cache import (
 
 __all__ = ["RunManifest", "run_with_manifest", "save_manifests"]
 
-MANIFEST_FORMAT = "repro.run_manifest.v1"
+# v2 added the unified ``metrics`` block (counters/gauges registry, see
+# repro.obs.metrics); ``run_stats`` stays for v1 consumers.
+MANIFEST_FORMAT = "repro.run_manifest.v2"
 
 
 @dataclass
@@ -50,6 +53,7 @@ class RunManifest:
     cache_enabled: bool
     cache_schema: int
     run_stats: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -64,6 +68,7 @@ class RunManifest:
             "cache_enabled": self.cache_enabled,
             "cache_schema": self.cache_schema,
             "run_stats": dict(self.run_stats),
+            "metrics": dict(self.metrics),
         }
 
     def summary_line(self) -> str:
@@ -120,17 +125,27 @@ def run_with_manifest(
     result = run_experiment(
         experiment_id, scale=scale, seed=seed, n_jobs=n_jobs
     )
+    run_stats = dict(result.meta.get("run_stats", {}))
+    wall_s = float(result.meta.get("wall_s", 0.0))
+    registry = MetricsRegistry()
+    for key, value in run_stats.items():
+        if key.endswith("_seconds"):
+            registry.gauge(f"trials.{key}", float(value))
+        else:
+            registry.inc(f"trials.{key}", int(value))
+    registry.gauge("run.wall_seconds", wall_s)
     manifest = RunManifest(
         experiment_id=experiment_id,
         scale=result.scale,
         seed=seed,
         n_jobs=n_jobs,
-        wall_s=float(result.meta.get("wall_s", 0.0)),
+        wall_s=wall_s,
         started_at=started,
         cache_dir=str(default_cache_dir()),
         cache_enabled=cache_enabled(),
         cache_schema=CACHE_SCHEMA_VERSION,
-        run_stats=dict(result.meta.get("run_stats", {})),
+        run_stats=run_stats,
+        metrics=registry.as_dict(),
     )
     return result, manifest
 

@@ -213,7 +213,7 @@ class NondeterminismHazard(Rule):
     name = "nondeterminism-hazard"
     summary = "no wall clock, uuid, id()-keys, or set-order in sim logic"
 
-    SCOPE_DIRS = ("sim", "chord", "core", "experiments", "hashspace")
+    SCOPE_DIRS = ("sim", "chord", "core", "experiments", "hashspace", "obs")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if any(ctx.path.endswith(tail) for tail in WALLCLOCK_ALLOWLIST):

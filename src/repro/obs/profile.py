@@ -1,0 +1,146 @@
+"""Per-phase wall-clock profiling for the tick loop.
+
+The engine's ``step()`` decomposes into five phases — strategy round,
+churn, arrivals, consumption, measurement — and perf work needs to know
+which of them the time goes to.  :class:`PhaseProfiler` wraps each
+phase in a context manager and accumulates call counts and seconds per
+phase name.
+
+Two determinism rules shape the design:
+
+* The clock is injectable.  Production use reads ``time.perf_counter``
+  (the one sanctioned wall-clock side channel, see the reprolint
+  suppression below); tests inject a fake counter so ``--json`` output
+  is byte-stable.
+* Timings never touch simulation state or results.  A profiler is an
+  observer: attaching one must leave seeded runs bit-identical, which
+  the observability smoke test enforces.
+
+:data:`NULL_PROFILER` is the engine's default — a shared no-op whose
+``phase()`` returns a reusable empty context, keeping the unprofiled
+hot path at two attribute lookups per phase.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Union
+
+__all__ = ["NULL_PROFILER", "NullProfiler", "PhaseProfiler", "PHASES"]
+
+# the engine's phase names, in execution order
+PHASES = ("strategy", "churn", "arrivals", "consumption", "measurement")
+
+
+class _NullContext:
+    """Reusable do-nothing context manager."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CTX = _NullContext()
+
+
+class NullProfiler:
+    """No-op stand-in used when profiling is off (the default)."""
+
+    enabled = False
+
+    def phase(self, name: str) -> _NullContext:
+        return _NULL_CTX
+
+    def as_dict(self) -> dict[str, Any]:
+        return {}
+
+
+NULL_PROFILER = NullProfiler()
+
+
+class _PhaseTimer:
+    """Context manager accounting one phase entry on exit."""
+
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> None:
+        self._t0 = self._profiler._clock()
+
+    def __exit__(self, *exc: object) -> bool:
+        profiler = self._profiler
+        elapsed = profiler._clock() - self._t0
+        profiler.seconds[self._name] = (
+            profiler.seconds.get(self._name, 0.0) + elapsed
+        )
+        profiler.calls[self._name] = profiler.calls.get(self._name, 0) + 1
+        return False
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds and call counts per phase name.
+
+    ``clock`` defaults to ``time.perf_counter``; inject a deterministic
+    counter for byte-stable test output.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        if clock is None:
+            # the sanctioned wall-clock side channel: timings are
+            # observability metadata, never simulation state
+            clock = time.perf_counter  # reprolint: disable=R002 (phase timing side channel)
+        self._clock = clock
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def phase(self, name: str) -> _PhaseTimer:
+        """Context manager timing one entry of ``name``."""
+        return _PhaseTimer(self, name)
+
+    # ------------------------------------------------------------------
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> dict[str, Any]:
+        """Deterministically ordered phase breakdown.
+
+        Known engine phases come first in execution order, then any
+        custom phase names sorted — so equal timings always serialize
+        to identical JSON.
+        """
+        order = [p for p in PHASES if p in self.seconds]
+        order += sorted(k for k in self.seconds if k not in PHASES)
+        return {
+            "phases": {
+                name: {
+                    "calls": self.calls.get(name, 0),
+                    "seconds": self.seconds[name],
+                }
+                for name in order
+            },
+            "total_seconds": self.total_seconds(),
+        }
+
+    def summary_line(self) -> str:
+        if not self.seconds:
+            return "profile: no phases recorded"
+        total = self.total_seconds()
+        parts = []
+        for name in self.as_dict()["phases"]:
+            sec = self.seconds[name]
+            share = 100.0 * sec / total if total > 0 else 0.0
+            parts.append(f"{name}={sec:.4f}s ({share:.1f}%)")
+        return f"profile: {total:.4f}s total; " + ", ".join(parts)
+
+
+# Either profiler can be attached to an engine.
+Profiler = Union[PhaseProfiler, NullProfiler]

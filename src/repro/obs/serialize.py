@@ -1,0 +1,42 @@
+"""Numpy-safe coercion to JSON-encodable values.
+
+Engine emitters and strategy code routinely hand trace fields numpy
+scalars (``np.int64`` owners, ``np.float64`` loads) and small arrays;
+``json.dumps`` rejects all of them.  ``jsonable`` normalises a value
+tree into plain Python containers so every exporter — trace sinks,
+manifest writers, the viz layer — serializes identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["jsonable"]
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively coerce ``value`` into JSON-encodable builtins.
+
+    Numpy integers/floats become ``int``/``float``, arrays become
+    (nested) lists, mappings and sequences recurse with keys forced to
+    ``str``.  Anything unrecognised falls back to ``repr`` rather than
+    raising, so a stray object in a trace field degrades to a readable
+    string instead of aborting an export.
+    """
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

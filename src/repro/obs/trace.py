@@ -1,0 +1,215 @@
+"""Event tracing: in-memory recorder and streaming JSONL sink.
+
+Both classes speak the same sink protocol the engine emits to —
+``record(tick, kind, **fields)`` — so either can be passed as
+``TickEngine(..., trace=...)``:
+
+* :class:`TraceRecorder` keeps every event in memory.  Right for tests
+  and small diagnostic runs where you want to filter and assert on the
+  event list afterwards.
+* :class:`JsonlTraceSink` streams events straight to a file, one JSON
+  object per line, holding at most ``buffer_events`` encoded lines in
+  memory.  Right for production-scale runs where the event stream is
+  far larger than RAM.  Supports kind and tick-window filters so a
+  trace of a million-tick run can capture only what you care about.
+
+``read_trace_jsonl`` reads a sink's output back into
+:class:`TraceEvent` objects, completing the write → read round trip.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Iterable, Iterator, Protocol
+
+from repro.obs.serialize import jsonable
+
+__all__ = [
+    "JsonlTraceSink",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceSink",
+    "read_trace_jsonl",
+]
+
+
+class TraceSink(Protocol):
+    """What the engine needs from a trace destination."""
+
+    def record(self, tick: int, kind: str, **fields: Any) -> None: ...
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One discrete simulation event."""
+
+    tick: int
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"tick": self.tick, "kind": self.kind, **self.fields}
+
+
+class TraceRecorder:
+    """Append-only in-memory event log with filtering and summarization."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    def record(self, tick: int, kind: str, **fields: Any) -> None:
+        self.events.append(TraceEvent(tick=tick, kind=kind, fields=fields))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def at_tick(self, tick: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.tick == tick]
+
+    def kinds(self) -> Counter[str]:
+        """Event counts by kind."""
+        return Counter(e.kind for e in self.events)
+
+    def first(self, kind: str) -> TraceEvent | None:
+        for event in self.events:
+            if event.kind == kind:
+                return event
+        return None
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per line (ingestible by any log tooling).
+
+        Numpy scalars and arrays in event fields are coerced via
+        :func:`~repro.obs.serialize.jsonable` — emitters hand us
+        ``np.int64`` owners all the time and that must not abort an
+        export.
+        """
+        return "\n".join(
+            json.dumps(jsonable(e.as_dict())) for e in self.events
+        )
+
+    def summary(self) -> str:
+        counts = self.kinds()
+        if not counts:
+            return "trace: no events"
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        last = self.events[-1].tick if self.events else 0
+        return f"trace: {len(self.events)} events through tick {last} ({parts})"
+
+
+class JsonlTraceSink:
+    """Streaming trace sink: events go to disk, not to a growing list.
+
+    Parameters
+    ----------
+    path:
+        Output file; opened for writing immediately, truncating any
+        previous trace.
+    kinds:
+        If given, only events whose kind is in this set are written.
+    tick_range:
+        If given, an inclusive ``(first, last)`` tick window; events
+        outside it are dropped.
+    buffer_events:
+        Encoded lines held in memory before a write+flush.  This is the
+        sink's entire memory footprint — independent of run length.
+
+    The per-kind counts of *written* events stay available in
+    :attr:`by_kind` after closing, so summaries don't require re-reading
+    the file.  Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        kinds: Iterable[str] | None = None,
+        tick_range: tuple[int, int] | None = None,
+        buffer_events: int = 256,
+    ) -> None:
+        if buffer_events < 1:
+            raise ValueError("buffer_events must be >= 1")
+        self.path = Path(path)
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self._tick_range = tick_range
+        self._buffer_events = buffer_events
+        self._buffer: list[str] = []
+        self.n_written = 0
+        self.by_kind: Counter[str] = Counter()
+        self._fh: IO[str] | None = self.path.open("w")
+
+    # ------------------------------------------------------------------
+    def record(self, tick: int, kind: str, **fields: Any) -> None:
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        if self._tick_range is not None:
+            first, last = self._tick_range
+            if not first <= tick <= last:
+                return
+        if self._fh is None:
+            raise ValueError(f"trace sink {self.path} is closed")
+        payload: dict[str, Any] = {"tick": tick, "kind": kind, **fields}
+        self._buffer.append(json.dumps(jsonable(payload)))
+        self.n_written += 1
+        self.by_kind[kind] += 1
+        if len(self._buffer) >= self._buffer_events:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._fh is None or not self._buffer:
+            return
+        self._fh.write("\n".join(self._buffer) + "\n")
+        self._fh.flush()
+        self._buffer.clear()
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        self.flush()
+        self._fh.close()
+        self._fh = None
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def summary(self) -> str:
+        if not self.n_written:
+            return "trace: no events"
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.by_kind.items()))
+        return f"trace: {self.n_written} events -> {self.path} ({parts})"
+
+
+def read_trace_jsonl(path: str | Path) -> Iterator[TraceEvent]:
+    """Yield the events of a JSONL trace file, in file order."""
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            tick = int(payload.pop("tick"))
+            kind = str(payload.pop("kind"))
+            yield TraceEvent(tick=tick, kind=kind, fields=payload)

@@ -40,10 +40,11 @@ from repro.hashspace.idspace import IdSpace
 from repro.metrics.histograms import histogram, shared_edges
 from repro.metrics.timeseries import TickSeries
 from repro.config import SimulationConfig
+from repro.obs.profile import NULL_PROFILER, Profiler
+from repro.obs.trace import TraceSink
 from repro.sim.owners import OwnerRegistry
 from repro.sim.results import SimulationResult
 from repro.sim.state import RingState
-from repro.sim.tracing import TraceRecorder
 from repro.sim.view import SimView
 from repro.sim.keydist import generate_task_keys
 from repro.sim.workload import (
@@ -70,10 +71,17 @@ class TickEngine:
         *,
         strategy: Strategy | None = None,
         rng: np.random.Generator | None = None,
-        trace: TraceRecorder | None = None,
+        trace: TraceSink | None = None,
+        profiler: Profiler | None = None,
     ):
         self.config = config
         self.trace = trace
+        # both trace and profiler are pure observers: attaching them
+        # must leave seeded results bit-identical (no RNG draws, no
+        # state writes) — the observability smoke test pins this
+        self.profiler: Profiler = (
+            profiler if profiler is not None else NULL_PROFILER
+        )
         self.rng = rng if rng is not None else make_rng(config.seed)
         self.space = IdSpace(config.bits)
         self.owners = OwnerRegistry(config, self.rng)
@@ -155,31 +163,37 @@ class TickEngine:
             return 0
         self.tick += 1
         cfg = self.config
+        prof = self.profiler
         if cfg.decision_interval and self.tick % cfg.decision_interval == 0:
-            self._run_strategy_round()
+            with prof.phase("strategy"):
+                self._run_strategy_round()
         if cfg.churn_rate > 0:
-            self._apply_churn()
+            with prof.phase("churn"):
+                self._apply_churn()
             if self.terminated:
                 return 0
         if cfg.arrival_rate > 0 and self.tick <= cfg.arrival_until:
-            self._apply_arrivals()
-        consumed = self._consume_tick()
+            with prof.phase("arrivals"):
+                self._apply_arrivals()
+        with prof.phase("consumption"):
+            consumed = self._consume_tick()
         self.total_consumed += consumed
-        want_snapshot = self.tick in cfg.snapshot_ticks
-        if want_snapshot or self.timeseries is not None:
-            # One owner_loads pass serves both measurements.
-            loads = self.network_loads()
-        if want_snapshot:
-            self._snapshot_loads[self.tick] = loads.copy()
-        if self.timeseries is not None:
-            self.timeseries.append(
-                tick=self.tick,
-                consumed=consumed,
-                remaining=self.remaining,
-                n_slots=self.state.n_slots,
-                n_in_network=self.owners.n_in_network,
-                idle_owners=int((loads == 0).sum()),
-            )
+        with prof.phase("measurement"):
+            want_snapshot = self.tick in cfg.snapshot_ticks
+            if want_snapshot or self.timeseries is not None:
+                # One owner_loads pass serves both measurements.
+                loads = self.network_loads()
+            if want_snapshot:
+                self._snapshot_loads[self.tick] = loads.copy()
+            if self.timeseries is not None:
+                self.timeseries.append(
+                    tick=self.tick,
+                    consumed=consumed,
+                    remaining=self.remaining,
+                    n_slots=self.state.n_slots,
+                    n_in_network=self.owners.n_in_network,
+                    idle_owners=int((loads == 0).sum()),
+                )
         return consumed
 
     def run(self) -> SimulationResult:

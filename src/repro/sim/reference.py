@@ -200,7 +200,9 @@ class NaiveRingState:
         removed = 0
         while True:
             slots = np.flatnonzero((self.owner == owner) & ~self.is_main)
-            if slots.size == 0:
+            # never empty the ring: a Sybil that is the last slot alive
+            # (its owner's main already gone to churn) stays put
+            if slots.size == 0 or self.n_slots <= 1:
                 return removed
             self.remove_slot(int(slots[0]))
             removed += 1

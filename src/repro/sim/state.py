@@ -768,14 +768,23 @@ class RingState:
         """Remove the owner's Sybil slots, keeping its main identity.
 
         Returns the number of Sybil slots removed.  One-pass like
-        :meth:`remove_owner`.
+        :meth:`remove_owner`.  Never empties the ring: when churn has
+        already taken the owner's main identity, its last Sybil may be
+        the last slot alive — that identity stays put (the same guard
+        the engine applies to churn departures).
         """
         slots = self._ensure_index().slots_of(self._ids_view, int(owner))
         is_main = self.is_main
         targets = [int(s) for s in slots.tolist() if not is_main[s]]
-        for j, slot in enumerate(targets):
-            self.remove_slot(slot - j)
-        return len(targets)
+        removed = 0
+        for slot in targets:
+            if self.n_slots <= 1:
+                break
+            # ascending targets: each prior removal shifted this slot
+            # down by one, exactly as the sequential loop would see it
+            self.remove_slot(slot - removed)
+            removed += 1
+        return removed
 
     # ------------------------------------------------------------------
     # batch structure changes (used by the engine's churn phase)
@@ -1070,12 +1079,18 @@ class BatchRemoval:
         return recovered, lost
 
     def retire_sybils(self, owner: int) -> int:
-        """Queue removal of the owner's Sybil slots; returns how many."""
+        """Queue removal of the owner's Sybil slots; returns how many.
+
+        Mirrors :meth:`RingState.retire_sybils`: the last live slot is
+        never queued, so a batch can't empty the ring either.
+        """
         is_main = self._state.is_main
         alive = self._alive
         removed = 0
         for slot in self._owner_slots(owner):
             if alive[slot] and not is_main[slot]:
+                if self._live <= 1:
+                    break
                 self._remove_one(slot)
                 removed += 1
         return removed

@@ -1,80 +1,13 @@
-"""Structured event tracing for simulation runs.
+"""Structured event tracing for simulation runs (compatibility shim).
 
-A :class:`TraceRecorder` attached to a :class:`~repro.sim.engine.TickEngine`
-captures every discrete event (Sybil created/retired, churn join/leave,
-relocation, arrivals) with its tick and details — the audit trail behind
-the aggregate counters.  Used for debugging strategy behaviour, for the
-observability example, and by tests that assert event-level invariants
-(e.g. "no owner ever creates two Sybils in one round").
+The tracing types moved to :mod:`repro.obs.trace` when observability
+grew into its own layer — this module re-exports them so existing
+imports (``from repro.sim.tracing import TraceRecorder``) keep working.
+New code should import from :mod:`repro.obs` directly, which also has
+the streaming :class:`~repro.obs.trace.JsonlTraceSink` for runs whose
+event streams don't fit in memory.
 """
 
-from __future__ import annotations
-
-import json
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Any, Iterator
+from repro.obs.trace import TraceEvent, TraceRecorder
 
 __all__ = ["TraceEvent", "TraceRecorder"]
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One discrete simulation event."""
-
-    tick: int
-    kind: str
-    fields: dict[str, Any] = field(default_factory=dict)
-
-    def __getitem__(self, key: str) -> Any:
-        return self.fields[key]
-
-    def as_dict(self) -> dict[str, Any]:
-        return {"tick": self.tick, "kind": self.kind, **self.fields}
-
-
-class TraceRecorder:
-    """Append-only event log with filtering and summarization."""
-
-    def __init__(self) -> None:
-        self.events: list[TraceEvent] = []
-
-    # ------------------------------------------------------------------
-    def record(self, tick: int, kind: str, **fields: Any) -> None:
-        self.events.append(TraceEvent(tick=tick, kind=kind, fields=fields))
-
-    def __len__(self) -> int:
-        return len(self.events)
-
-    def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self.events)
-
-    # ------------------------------------------------------------------
-    def of_kind(self, kind: str) -> list[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
-
-    def at_tick(self, tick: int) -> list[TraceEvent]:
-        return [e for e in self.events if e.tick == tick]
-
-    def kinds(self) -> Counter:
-        """Event counts by kind."""
-        return Counter(e.kind for e in self.events)
-
-    def first(self, kind: str) -> TraceEvent | None:
-        for event in self.events:
-            if event.kind == kind:
-                return event
-        return None
-
-    # ------------------------------------------------------------------
-    def to_jsonl(self) -> str:
-        """One JSON object per line (ingestible by any log tooling)."""
-        return "\n".join(json.dumps(e.as_dict()) for e in self.events)
-
-    def summary(self) -> str:
-        counts = self.kinds()
-        if not counts:
-            return "trace: no events"
-        parts = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
-        last = self.events[-1].tick if self.events else 0
-        return f"trace: {len(self.events)} events through tick {last} ({parts})"

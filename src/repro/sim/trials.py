@@ -44,6 +44,8 @@ import numpy as np
 
 from repro.errors import ConfigError, TrialError
 from repro.config import SimulationConfig
+from repro.obs.profile import Profiler
+from repro.obs.trace import TraceSink
 from repro.sim.cache import TrialCache, get_cache, trial_key
 from repro.sim.engine import TickEngine
 from repro.sim.results import SimulationResult, TrialSet
@@ -66,11 +68,22 @@ TrialFn = Callable[
 
 
 def run_trial(
-    config: SimulationConfig, seed_seq: np.random.SeedSequence | None = None
+    config: SimulationConfig,
+    seed_seq: np.random.SeedSequence | None = None,
+    *,
+    trace: "TraceSink | None" = None,
+    profiler: "Profiler | None" = None,
 ) -> SimulationResult:
-    """Run one trial; ``seed_seq`` overrides the config seed when given."""
+    """Run one trial; ``seed_seq`` overrides the config seed when given.
+
+    ``trace`` and ``profiler`` attach observability side channels to the
+    engine (see :mod:`repro.obs`); both leave the seeded result
+    bit-identical.  They are keyword-only and unpicklable-by-design
+    sinks stay out of multi-process paths: :func:`run_trials` always
+    calls this without them.
+    """
     rng = make_rng(seed_seq) if seed_seq is not None else None
-    engine = TickEngine(config, rng=rng)
+    engine = TickEngine(config, rng=rng, trace=trace, profiler=profiler)
     return engine.run()
 
 

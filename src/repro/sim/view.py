@@ -148,7 +148,9 @@ class SimView(NetworkView):
         self._owners.unregister_sybils(owner, removed)
         self._stats.sybils_retired += removed
         if removed:
-            self._emit("sybils_retired", owner=owner, count=removed)
+            # int() coercion: strategies pass numpy-scalar owners, and
+            # trace sinks JSON-serialize these fields
+            self._emit("sybils_retired", owner=int(owner), count=int(removed))
         return removed
 
     def owner_strength(self, owner: int) -> int:
@@ -174,8 +176,8 @@ class SimView(NetworkView):
         self._stats.relocations += 1
         self._stats.tasks_acquired += acquired
         self._stats.messages += 2  # leave handshake + join handshake
-        self._emit("relocation", owner=owner, ident=ident,
-                   acquired=acquired)
+        self._emit("relocation", owner=int(owner), ident=int(ident),
+                   acquired=int(acquired))
         return acquired
 
     def count_messages(self, n: int = 1) -> None:
@@ -195,8 +197,8 @@ class SimView(NetworkView):
         self._stats.tasks_acquired += acquired
         # joining is at least one message (the join handshake)
         self._stats.messages += 1
-        self._emit("sybil_created", owner=owner, ident=ident,
-                   acquired=acquired)
+        self._emit("sybil_created", owner=int(owner), ident=int(ident),
+                   acquired=int(acquired))
         return acquired
 
     def _place_in_slot(self, slot: int) -> int | None:

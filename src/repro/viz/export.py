@@ -5,11 +5,9 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Any
-
-import numpy as np
 
 from repro.experiments.spec import ExperimentResult
+from repro.obs.serialize import jsonable as _jsonable
 
 __all__ = ["write_csv", "write_json", "result_to_json"]
 
@@ -22,22 +20,6 @@ def write_csv(result: ExperimentResult, path: str | Path) -> Path:
         writer.writerow(result.headers)
         writer.writerows(result.rows)
     return path
-
-
-def _jsonable(value: Any) -> Any:
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
-    if isinstance(value, np.ndarray):
-        return value.tolist()
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
 
 
 def result_to_json(result: ExperimentResult) -> dict:

@@ -13,7 +13,7 @@ stream differently, so it is held to per-slot multiset equality instead.
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.errors import IdSpaceError
@@ -74,6 +74,20 @@ OP = st.sampled_from(
     n_keys=st.integers(0, 250),
     ops=st.lists(st.tuples(OP, st.integers(0, 2**31 - 1)), max_size=30),
 )
+# Pinned falsifying example (formerly .hypothesis/patches/): churn takes
+# owner 1's main while its Sybil survives, then retire_sybils targets
+# the last slot alive — retirement must leave it in place, not raise.
+@example(
+    seed=0,
+    n_nodes=2,
+    n_keys=0,
+    ops=[
+        ("remove_slot", 0),
+        ("insert_sybil", 0),
+        ("remove_slot", 1),
+        ("retire_sybils", 0),
+    ],
+).via("discovered failure")
 def test_slab_matches_naive_reference(seed, n_nodes, n_keys, ops):
     slab, naive = build_pair(seed, n_nodes, n_keys)
     next_owner = n_nodes
@@ -117,6 +131,7 @@ def test_slab_matches_naive_reference(seed, n_nodes, n_keys, ops):
             slab.consume_at(idx, amt)
             naive.consume_at(idx, amt)
         slab.verify_invariants()
+        naive.verify_invariants()
         assert_equivalent(slab, naive)
 
 
@@ -137,6 +152,7 @@ def test_add_tasks_matches_naive_keysets(seed, n_nodes, n_keys, n_fresh):
     slab.add_tasks(fresh)
     naive.add_tasks(fresh)
     slab.verify_invariants()
+    naive.verify_invariants()
     assert_equivalent(slab, naive, exact_order=False)
 
 
@@ -148,6 +164,16 @@ def test_add_tasks_matches_naive_keysets(seed, n_nodes, n_keys, n_fresh):
     leavers=st.lists(st.integers(0, 13), max_size=6),
     joiner_ids=st.lists(st.integers(0, SPACE.size - 1), max_size=6),
 )
+# Pinned falsifying example (formerly .hypothesis/patches/): the same
+# owner leaves twice in one batch — the second guarded removal must see
+# the first batch removal and become a no-op on both sides.
+@example(
+    seed=0,
+    n_nodes=3,
+    n_keys=0,
+    leavers=[0, 0],
+    joiner_ids=[],
+).via("discovered failure")
 def test_batched_churn_matches_sequential(
     seed, n_nodes, n_keys, leavers, joiner_ids
 ):
@@ -181,4 +207,80 @@ def test_batched_churn_matches_sequential(
     insertion.commit()
 
     slab.verify_invariants()
+    naive.verify_invariants()
     assert_equivalent(slab, naive)
+
+
+# ----------------------------------------------------------------------
+# Sybil-retirement edge cases (regressions for the last-slot guard)
+# ----------------------------------------------------------------------
+def _orphan_sybil_pair(n_extra_sybils=0):
+    """(slab, naive) where owner 0's main is gone and only its Sybils
+    remain on the ring."""
+    slab, naive = build_pair(7, 2, 40)
+    # owner 0 gains sybils, then loses its main slot to churn
+    sybil_ids = [10, 20] + [30 + i for i in range(n_extra_sybils)]
+    for ident in sybil_ids:
+        assert slab.insert_slot(ident, 0, is_main=False) == naive.insert_slot(
+            ident, 0, is_main=False
+        )
+    main_slot = int(np.flatnonzero(slab.is_main & (slab.owner == 0))[0])
+    assert slab.remove_slot(main_slot) == naive.remove_slot(main_slot)
+    return slab, naive
+
+
+class TestRetireSybilsEdgeCases:
+    def test_retire_with_main_gone_keeps_ring_alive(self):
+        """Owner's main left under churn: its Sybils still retire."""
+        slab, naive = _orphan_sybil_pair()
+        got = slab.retire_sybils(0)
+        assert got == naive.retire_sybils(0)
+        assert got == 2  # other owner's main still alive: all retire
+        slab.verify_invariants()
+        naive.verify_invariants()
+        assert_equivalent(slab, naive)
+
+    def test_sybil_only_remainder_keeps_last_slot(self):
+        """When the owner's Sybils are ALL that's left of the ring, the
+        last one stays put instead of emptying the ring."""
+        slab, naive = _orphan_sybil_pair(n_extra_sybils=1)
+        # remove the other owner entirely: ring is now sybil-only
+        assert slab.remove_owner(1) == naive.remove_owner(1)
+        n_sybils = slab.n_slots
+        assert bool((~slab.is_main).all()) and n_sybils == 3
+        got = slab.retire_sybils(0)
+        assert got == naive.retire_sybils(0)
+        assert got == n_sybils - 1
+        assert slab.n_slots == naive.n_slots == 1
+        assert not bool(slab.is_main[0])
+        slab.verify_invariants()
+        naive.verify_invariants()
+        assert_equivalent(slab, naive)
+
+    def test_batch_retire_matches_sequential_guard(self):
+        """BatchRemoval.retire_sybils applies the same last-slot guard
+        as the sequential path."""
+        slab, naive = _orphan_sybil_pair(n_extra_sybils=1)
+        slab.remove_owner(1)
+        naive.remove_owner(1)
+        removal = slab.begin_batch_removal()
+        got = removal.retire_sybils(0)
+        removal.commit()
+        assert got == naive.retire_sybils(0)
+        assert slab.n_slots == naive.n_slots == 1
+        slab.verify_invariants()
+        naive.verify_invariants()
+        assert_equivalent(slab, naive)
+
+    def test_retire_with_live_main_is_unchanged(self):
+        """The guard never fires in the normal case: main alive, every
+        Sybil retires."""
+        slab, naive = build_pair(3, 4, 120)
+        for ident in (11, 22, 33):
+            slab.insert_slot(ident, 2, is_main=False)
+            naive.insert_slot(ident, 2, is_main=False)
+        assert slab.retire_sybils(2) == naive.retire_sybils(2) == 3
+        assert slab.slots_of_owner(2).size == 1
+        slab.verify_invariants()
+        naive.verify_invariants()
+        assert_equivalent(slab, naive)
