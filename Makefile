@@ -1,11 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-# committed reference produced by `make bench-baseline`
+# committed references produced by `make bench-baseline` / `make
+# bench-tick-baseline`
 BENCH_BASELINE := benchmarks/BENCH_core_ops_slab.json
 BENCH_CURRENT  := benchmarks/.bench_current.json
+BENCH_TICK_BASELINE := benchmarks/BENCH_tick_engine.json
+BENCH_TICK_CURRENT  := benchmarks/.bench_tick_current.json
 
 .PHONY: test lint typecheck bench bench-baseline bench-check \
+	bench-tick bench-tick-baseline bench-tick-check \
 	sweep-resume-check obs-smoke check figures
 
 test:
@@ -22,17 +26,35 @@ typecheck:
 	$(PYTHON) scripts/typecheck.py
 
 bench:
-	$(PYTHON) -m pytest benchmarks/bench_core_ops.py --benchmark-only \
-		--benchmark-json=$(BENCH_CURRENT)
+	$(PYTHON) -m pytest benchmarks/bench_core_ops.py -k "not tick_engine" \
+		--benchmark-only --benchmark-json=$(BENCH_CURRENT)
 
 bench-baseline:
-	$(PYTHON) -m pytest benchmarks/bench_core_ops.py --benchmark-only \
-		--benchmark-json=$(BENCH_BASELINE)
+	$(PYTHON) -m pytest benchmarks/bench_core_ops.py -k "not tick_engine" \
+		--benchmark-only --benchmark-json=$(BENCH_BASELINE)
 
 # re-run the benchmarks and fail on a >20% median regression versus the
 # committed baseline (see benchmarks/compare_bench.py)
 bench-check: bench
 	$(PYTHON) benchmarks/compare_bench.py $(BENCH_BASELINE) $(BENCH_CURRENT)
+
+# tick-engine suite (PR 6): multi-slot consumption backends + shard
+# fan-out.  The hard gate is the within-run reference-vs-numpy kernel
+# speedup (>=3x at the largest ring size) — a machine-independent
+# ratio.  The absolute baseline comparison uses a loose tolerance: the
+# sharded variants' medians are dominated by pool round-trip latency,
+# which jitters with host load.
+bench-tick:
+	$(PYTHON) -m pytest benchmarks/bench_core_ops.py -k tick_engine \
+		--benchmark-only --benchmark-json=$(BENCH_TICK_CURRENT)
+
+bench-tick-baseline:
+	$(PYTHON) -m pytest benchmarks/bench_core_ops.py -k tick_engine \
+		--benchmark-only --benchmark-json=$(BENCH_TICK_BASELINE)
+
+bench-tick-check: bench-tick
+	$(PYTHON) benchmarks/compare_bench.py $(BENCH_TICK_BASELINE) \
+		$(BENCH_TICK_CURRENT) --tolerance 1.0 --require-tick-speedup 3.0
 
 # kill a quick-scale sweep midway (SIGKILL), resume it from the trial
 # cache, and require the merged TrialSet to be bit-identical to an
@@ -47,7 +69,8 @@ obs-smoke:
 
 # the full tier-1 gate: static analysis, unit/property tests, perf
 # regression, resume, observability
-check: lint typecheck test bench-check sweep-resume-check obs-smoke
+check: lint typecheck test bench-check bench-tick-check \
+	sweep-resume-check obs-smoke
 
 figures:
 	$(PYTHON) -m repro.cli figures --out figures/

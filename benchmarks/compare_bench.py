@@ -15,6 +15,13 @@ benchmark is not a regression.
 When both the slab and naive churn-storm benchmarks are present in the
 current file, the slab-vs-naive speedup is printed as well (this is the
 headline number of DESIGN.md §5).
+
+The tick-engine suite gets the same treatment: when the current file
+holds ``test_tick_engine[...]`` results, the reference-vs-numpy kernel
+speedup is printed per ring size, and ``--require-tick-speedup X``
+turns it into a gate — the speedup is a within-run ratio, so unlike the
+absolute baseline comparison it is meaningful even on a shared CI
+runner whose clock differs from the baseline machine's.
 """
 
 from __future__ import annotations
@@ -44,15 +51,55 @@ def storm_speedup(stats: dict[str, float], n_slots: int = 10_000) -> float | Non
     return None
 
 
+def _tick_engine_times(stats: dict[str, float]) -> dict[tuple[str, int], float]:
+    """``(variant, n_slots) -> time`` for every tick-engine benchmark."""
+    out: dict[tuple[str, int], float] = {}
+    for name, value in stats.items():
+        marker = "test_tick_engine["
+        start = name.find(marker)
+        if start < 0:
+            continue
+        params = name[start + len(marker):].rstrip("]").split("-")
+        variant = next(
+            (p for p in params if not p.isdigit()), None
+        )
+        size = next((int(p) for p in params if p.isdigit()), None)
+        if variant is not None and size is not None:
+            out[(variant, size)] = value
+    return out
+
+
+def tick_engine_speedups(stats: dict[str, float]) -> dict[int, float]:
+    """Reference-vs-numpy kernel speedup per ring size."""
+    times = _tick_engine_times(stats)
+    sizes = sorted({n for _, n in times})
+    return {
+        n: times[("reference", n)] / times[("numpy", n)]
+        for n in sizes
+        if ("reference", n) in times and ("numpy", n) in times
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline pytest-benchmark JSON")
     parser.add_argument("current", help="current pytest-benchmark JSON")
     parser.add_argument(
         "--threshold",
+        "--tolerance",
         type=float,
         default=0.20,
-        help="allowed fractional slowdown before failing (default 0.20)",
+        help="allowed fractional slowdown before failing (default 0.20); "
+        "--tolerance is an alias",
+    )
+    parser.add_argument(
+        "--require-tick-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless the current file's tick-engine reference-vs-"
+        "numpy speedup is at least X at the largest ring size present "
+        "(a within-run ratio: robust to machine differences)",
     )
     parser.add_argument(
         "--stat",
@@ -85,6 +132,30 @@ def main(argv: list[str] | None = None) -> int:
     if speedup is not None:
         print(f"\nchurn-storm slab speedup vs naive (10k slots): "
               f"{speedup:.2f}x")
+
+    tick = tick_engine_speedups(cur)
+    for n_slots, ratio in tick.items():
+        print(
+            f"tick-engine kernel speedup vs reference "
+            f"({n_slots} slots): {ratio:.2f}x"
+        )
+    if args.require_tick_speedup is not None:
+        if not tick:
+            print(
+                "\nFAIL: --require-tick-speedup given but the current "
+                "file has no tick-engine reference/numpy pair",
+                file=sys.stderr,
+            )
+            return 1
+        largest = max(tick)
+        if tick[largest] < args.require_tick_speedup:
+            print(
+                f"\nFAIL: tick-engine speedup at {largest} slots is "
+                f"{tick[largest]:.2f}x < required "
+                f"{args.require_tick_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
 
     if regressions:
         print(

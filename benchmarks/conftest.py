@@ -9,6 +9,14 @@ doubles as the experiment log backing EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
+
+# Pinned before numpy/numba ever spin up their pools: benchmark numbers
+# must not depend on the host's core count, and the tick-engine shard
+# benchmarks measure process fan-out, not hidden intra-op threading.
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("NUMBA_NUM_THREADS", "1")
+
 import pytest
 
 from repro.experiments.spec import ExperimentResult

@@ -3,7 +3,7 @@
 
 Shows the operational tooling around the simulator:
 
-* :class:`~repro.sim.tracing.TraceRecorder` — a structured event log of
+* :class:`~repro.obs.trace.TraceRecorder` — a structured event log of
   every Sybil creation/retirement and churn event (exportable as JSONL);
 * :class:`~repro.analysis.convergence.profile_run` — trajectory metrics
   (utilization AUC, wasted node-ticks) that condense whole runs;
@@ -15,7 +15,7 @@ Run:  python examples/observability.py
 from repro import SimulationConfig
 from repro.analysis import expected_baseline_factor, profile_run
 from repro.sim import TickEngine
-from repro.sim.tracing import TraceRecorder
+from repro.obs.trace import TraceRecorder
 from repro.util.tables import format_table
 
 

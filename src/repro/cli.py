@@ -136,6 +136,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds without a trial completion before workers are "
         "considered hung (parallel runs)",
     )
+    sim_p.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes for the consumption phase (shared-memory "
+        "sharding; results are bit-identical for any shard count)",
+    )
+    sim_p.add_argument(
+        "--backend", choices=["numpy", "numba"], default=None,
+        help="consumption kernel backend (default: numpy, or "
+        "$REPRO_SIM_BACKEND; numba requires the optional numba package)",
+    )
 
     sweep_p = sub.add_parser(
         "sweep", help="one-dimensional parameter sweep with resume"
@@ -186,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument(
         "--json", action="store_true",
         help="emit a machine-readable JSON document instead of tables",
+    )
+    prof_p.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes for the consumption phase",
+    )
+    prof_p.add_argument(
+        "--backend", choices=["numpy", "numba"], default=None,
+        help="consumption kernel backend (default: numpy)",
     )
 
     trace_p = sub.add_parser(
@@ -317,7 +335,7 @@ def _parse_replication(value: str) -> int | None:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.config import FailureModel
-    from repro.sim.trials import run_trials
+    from repro.sim.trials import make_trial_fn, run_trials
     from repro.util.tables import format_kv
 
     config = SimulationConfig(
@@ -347,6 +365,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         n_jobs=args.jobs,
         retries=args.retries,
         timeout=args.timeout,
+        trial_fn=make_trial_fn(backend=args.backend, shards=args.shards),
     )
     summary = trials.factor_summary()
     payload = {
@@ -498,7 +517,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     profiler = PhaseProfiler()
-    profile = profile_run(config, profiler=profiler)
+    profile = profile_run(
+        config, profiler=profiler, backend=args.backend, shards=args.shards
+    )
     if args.json:
         # sorted keys + deterministic phase ordering: byte-stable for a
         # fixed clock (tests inject one), structure-stable always

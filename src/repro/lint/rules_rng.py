@@ -169,6 +169,28 @@ _BANNED_TIME_CALLS = {
 #: elapsed-seconds output is the point and never feeds simulation state.
 WALLCLOCK_ALLOWLIST = ("repro/cli.py",)
 
+#: Top-level modules whose import signals process/thread parallelism —
+#: scheduling and completion order are run-varying state, so these are
+#: banned in simulation logic except where a fixed-order merge makes the
+#: parallelism invisible to fingerprinted outputs.
+_PARALLEL_MODULES = {"multiprocessing", "threading", "concurrent"}
+
+#: Files allowed to import parallelism machinery.  Each entry exists
+#: because its merge discipline provably removes scheduling order from
+#: every fingerprinted output:
+PARALLELISM_ALLOWLIST = (
+    # The sharded consumption engine: workers mutate *disjoint* slot
+    # ranges of a shared-memory slab and per-shard totals merge in
+    # ascending shard index (pool.map order), never completion order;
+    # every RNG draw stays on the sequential global stream.  See the
+    # determinism contract in repro/sim/shard.py's module docstring.
+    "repro/sim/shard.py",
+    # The trial runner: fans out *whole trials*, each sealed with its
+    # own spawned SeedSequence; results are keyed by trial index, so
+    # completion order cannot reorder anything observable.
+    "repro/sim/trials.py",
+)
+
 #: Builtins through which consuming a set is order-safe.
 _ORDER_SAFE_CONSUMERS = {"sorted", "len", "sum", "min", "max", "any", "all"}
 #: Builtins that materialize iteration order (hash order escapes).
@@ -203,7 +225,11 @@ class NondeterminismHazard(Rule):
       addresses vary run to run);
     * iterating a set (``for x in set(...)``, ``list({...})``,
       comprehensions over set expressions): hash order is not part of
-      the reproducibility contract — wrap in ``sorted(...)`` instead.
+      the reproducibility contract — wrap in ``sorted(...)`` instead;
+    * ``multiprocessing`` / ``threading`` / ``concurrent.*`` imports:
+      scheduling and completion order vary run to run, so parallelism
+      is sanctioned only in ``PARALLELISM_ALLOWLIST`` modules whose
+      fixed-order merges keep it out of fingerprinted outputs.
 
     ``repro/cli.py`` is allowlisted for wall-clock reporting; anything
     else needs a per-line suppression with a justification.
@@ -220,10 +246,15 @@ class NondeterminismHazard(Rule):
             return
         if not ctx.in_dirs(*self.SCOPE_DIRS):
             return
+        parallel_ok = any(
+            ctx.path.endswith(tail) for tail in PARALLELISM_ALLOWLIST
+        )
         for node in ast.walk(ctx.tree):
             yield from self._check_clock_call(ctx, node)
             yield from self._check_id_keys(ctx, node)
             yield from self._check_set_order(ctx, node)
+            if not parallel_ok:
+                yield from self._check_parallel_import(ctx, node)
 
     def _check_clock_call(
         self, ctx: FileContext, node: ast.AST
@@ -244,6 +275,26 @@ class NondeterminismHazard(Rule):
                 "and OS entropy vary run to run; derive everything from "
                 "the seeded Generator (allowlist: cli.py reporting)",
             )
+
+    def _check_parallel_import(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            names = [node.module or ""]
+        else:
+            return
+        for name in names:
+            if name.split(".")[0] in _PARALLEL_MODULES:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{name}` import in simulation code — process/"
+                    "thread scheduling order varies run to run; "
+                    "parallelism is sanctioned only in the allowlisted "
+                    "shard/trial runners (PARALLELISM_ALLOWLIST)",
+                )
 
     def _check_id_keys(
         self, ctx: FileContext, node: ast.AST

@@ -21,7 +21,8 @@ from repro.sim.trials import (
     run_trials,
     sweep,
 )
-from repro.sim.tracing import TraceEvent, TraceRecorder
+from repro.obs.trace import TraceEvent, TraceRecorder
+from repro.sim.shard import ShardedTickEngine
 from repro.sim.view import SimView
 from repro.sim.workload import (
     draw_new_node_id,
@@ -40,6 +41,7 @@ __all__ = [
     "RingState",
     "OwnerRegistry",
     "SimView",
+    "ShardedTickEngine",
     "run_trial",
     "run_trials",
     "sweep",

@@ -23,10 +23,16 @@ factor versus the ideal are the primary outputs (§V-C).
 
 Performance: consumption is fully vectorized.  When no Sybils exist every
 owner has exactly one slot and the per-tick cost is two NumPy ops over
-the slot arrays; with Sybils a grouped ``lexsort`` distributes each
-owner's rate across its identities without per-owner Python loops except
-for the rare case of an owner whose heaviest identity alone cannot cover
-its rate.
+the slot arrays; with Sybils the engine consumes over the owner-grouped
+CSR layout cached by :meth:`RingState.consumption_groups` using a
+backend kernel from :mod:`repro.sim.kernels` (pure NumPy by default, an
+optional numba-jitted variant behind ``backend="numba"``) — no per-owner
+Python loops at all, and no per-tick sort between structural mutations.
+When neither a trace sink nor a real profiler is attached, ``step()``
+takes an observer-free path that skips every piece of observability
+bookkeeping (no phase contexts, no event dicts); see
+``docs/scaling.md``.  :class:`repro.sim.shard.ShardedTickEngine` extends
+this engine with multiprocess consumption over shared-memory slabs.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from repro.metrics.timeseries import TickSeries
 from repro.config import SimulationConfig
 from repro.obs.profile import NULL_PROFILER, Profiler
 from repro.obs.trace import TraceSink
+from repro.sim.kernels import fast_kernel, grouped_kernel, resolve_backend
 from repro.sim.owners import OwnerRegistry
 from repro.sim.results import SimulationResult
 from repro.sim.state import RingState
@@ -73,6 +80,7 @@ class TickEngine:
         rng: np.random.Generator | None = None,
         trace: TraceSink | None = None,
         profiler: Profiler | None = None,
+        backend: str | None = None,
     ):
         self.config = config
         self.trace = trace
@@ -82,6 +90,13 @@ class TickEngine:
         self.profiler: Profiler = (
             profiler if profiler is not None else NULL_PROFILER
         )
+        # observer flags are fixed at construction: when neither sink is
+        # real, step() takes the bookkeeping-free path
+        self._tracing = trace is not None
+        self._observed = self._tracing or self.profiler is not NULL_PROFILER
+        self.backend = resolve_backend(backend)
+        self._fast_kernel = fast_kernel(self.backend)
+        self._grouped_kernel = grouped_kernel(self.backend)
         self.rng = rng if rng is not None else make_rng(config.seed)
         self.space = IdSpace(config.bits)
         self.owners = OwnerRegistry(config, self.rng)
@@ -99,7 +114,7 @@ class TickEngine:
         self.strategy = strategy if strategy is not None else make_strategy(config)
         self.view = SimView(
             config, self.state, self.owners, self.rng,
-            event_sink=self._emit,
+            event_sink=self._emit if self._tracing else None,
         )
         self.strategy.on_attach(self.view)
 
@@ -158,10 +173,38 @@ class TickEngine:
         return loads[self.owners.in_network]
 
     def step(self) -> int:
-        """Advance one tick; returns the number of tasks consumed."""
+        """Advance one tick; returns the number of tasks consumed.
+
+        Dispatches to one of two equivalent drivers: the observed one
+        wraps each phase in profiler contexts, the fast one runs the
+        same phases with zero observability bookkeeping.  Both mutate
+        identical state in identical order, so seeded trajectories do
+        not depend on which driver ran (obs-smoke pins this).
+        """
         if self.finished or self.terminated:
             return 0
         self.tick += 1
+        if self._observed:
+            return self._step_observed()
+        return self._step_fast()
+
+    def _step_fast(self) -> int:
+        """The no-observer tick: no phase contexts, no event dicts."""
+        cfg = self.config
+        if cfg.decision_interval and self.tick % cfg.decision_interval == 0:
+            self._run_strategy_round()
+        if cfg.churn_rate > 0:
+            self._apply_churn()
+            if self.terminated:
+                return 0
+        if cfg.arrival_rate > 0 and self.tick <= cfg.arrival_until:
+            self._apply_arrivals()
+        consumed = self._consume_tick()
+        self.total_consumed += consumed
+        self._measure(consumed)
+        return consumed
+
+    def _step_observed(self) -> int:
         cfg = self.config
         prof = self.profiler
         if cfg.decision_interval and self.tick % cfg.decision_interval == 0:
@@ -179,22 +222,26 @@ class TickEngine:
             consumed = self._consume_tick()
         self.total_consumed += consumed
         with prof.phase("measurement"):
-            want_snapshot = self.tick in cfg.snapshot_ticks
-            if want_snapshot or self.timeseries is not None:
-                # One owner_loads pass serves both measurements.
-                loads = self.network_loads()
-            if want_snapshot:
-                self._snapshot_loads[self.tick] = loads.copy()
-            if self.timeseries is not None:
-                self.timeseries.append(
-                    tick=self.tick,
-                    consumed=consumed,
-                    remaining=self.remaining,
-                    n_slots=self.state.n_slots,
-                    n_in_network=self.owners.n_in_network,
-                    idle_owners=int((loads == 0).sum()),
-                )
+            self._measure(consumed)
         return consumed
+
+    def _measure(self, consumed: int) -> None:
+        cfg = self.config
+        want_snapshot = self.tick in cfg.snapshot_ticks
+        if want_snapshot or self.timeseries is not None:
+            # One owner_loads pass serves both measurements.
+            loads = self.network_loads()
+        if want_snapshot:
+            self._snapshot_loads[self.tick] = loads.copy()
+        if self.timeseries is not None:
+            self.timeseries.append(
+                tick=self.tick,
+                consumed=consumed,
+                remaining=self.remaining,
+                n_slots=self.state.n_slots,
+                n_in_network=self.owners.n_in_network,
+                idle_owners=int((loads == 0).sum()),
+            )
 
     def run(self) -> SimulationResult:
         """Run to completion (or the ``max_ticks`` cap) and package results.
@@ -242,6 +289,9 @@ class TickEngine:
         rate = self.config.churn_rate
         rng = self.rng
         cf = self.failures.crash_fraction
+        # hoisted flag: per-event _emit calls build a kwargs dict even
+        # when no sink is attached, so the no-observer path skips them
+        tracing = self._tracing
         # departures: each in-network node flips a coin (§IV-A)
         net = self.owners.network_indices
         leaving = net[rng.random(net.size) < rate]
@@ -272,10 +322,11 @@ class TickEngine:
                     self.counters["tasks_lost"] += lost
                     self.tasks_lost += lost
                     self.owners.leave_network(owner)
-                    self._emit(
-                        "churn_crash", owner=owner,
-                        recovered=recovered, lost=lost,
-                    )
+                    if tracing:
+                        self._emit(
+                            "churn_crash", owner=owner,
+                            recovered=recovered, lost=lost,
+                        )
                     continue
                 # never empty the ring: the last identities stay put
                 moved = removal.remove_owner_guarded(owner)
@@ -284,7 +335,8 @@ class TickEngine:
                 self.counters["churn_keys_moved"] += moved
                 self.owners.leave_network(owner)
                 self.counters["churn_leaves"] += 1
-                self._emit("churn_leave", owner=owner, keys_moved=moved)
+                if tracing:
+                    self._emit("churn_leave", owner=owner, keys_moved=moved)
             removal.commit()
             if ring_died:
                 # everything still on the wreck is unrecoverable
@@ -306,8 +358,9 @@ class TickEngine:
                 self.counters["churn_keys_moved"] += acquired
                 self.owners.join_network(owner, ident)
                 self.counters["churn_joins"] += 1
-                self._emit("churn_join", owner=owner, ident=ident,
-                           acquired=acquired)
+                if tracing:
+                    self._emit("churn_join", owner=owner, ident=ident,
+                               acquired=acquired)
             insertion.commit()
 
     def _apply_arrivals(self) -> None:
@@ -318,7 +371,8 @@ class TickEngine:
         keys = generate_task_keys(count, self.config, self.space, self.rng)
         self.state.add_tasks(keys)
         self.total_injected += count
-        self._emit("arrivals", count=count)
+        if self._tracing:
+            self._emit("arrivals", count=count)
         self.counters["tasks_arrived"] = (
             self.counters.get("tasks_arrived", 0) + count
         )
@@ -337,59 +391,31 @@ class TickEngine:
         rates = self.owners.rate
         if state.n_sybil_slots == 0:
             # FAST PATH: one slot per owner — consume directly per slot.
-            take = np.minimum(counts, rates[state.owner])
-            if take.dtype != counts.dtype:
-                take = take.astype(counts.dtype)
-            counts -= take
-            state.mark_loads_dirty()
-            return int(take.sum())
-        return self._consume_multi_slot()
+            consumed = self._fast_kernel(counts, state.owner, rates)
+        else:
+            consumed = self._consume_multi_slot()
+        state.mark_loads_dirty()
+        return consumed
 
     def _consume_multi_slot(self) -> int:
         """Distribute each owner's rate across its identities.
 
-        Heaviest identity first: grouping slots by owner with counts
-        descending, the first slot of each group absorbs as much of the
-        owner's demand as it can; the rare remainder is settled in a
-        short Python loop.
+        Heaviest identity first, over the owner-grouped CSR layout
+        cached by the state (rebuilt only on structural mutation).  The
+        arithmetic lives in :mod:`repro.sim.kernels`; the sharded engine
+        overrides this method to run the same kernel on arc chunks in
+        worker processes.
         """
         state = self.state
-        counts = state.counts
-        owner = state.owner
-        loads = state.owner_loads(self.owners.n_total)
-        want = np.minimum(self.owners.rate, loads)
-
-        order = np.lexsort((-counts, owner))
-        owners_sorted = owner[order]
-        first = np.ones(order.size, dtype=bool)
-        first[1:] = owners_sorted[1:] != owners_sorted[:-1]
-        heavy_slots = order[first]
-        heavy_owners = owners_sorted[first]
-
-        take = np.minimum(want[heavy_owners], counts[heavy_slots])
-        counts[heavy_slots] -= take
-        consumed = int(take.sum())
-
-        residual = want[heavy_owners] - take
-        if residual.any():
-            # Only owners whose heaviest identity could not cover their
-            # rate reach this path, so the loop is bounded by the number
-            # of deficient owners; ``slots_of_owner`` is an indexed
-            # lookup, not a scan.
-            deficient = residual > 0
-            for o, r in zip(heavy_owners[deficient], residual[deficient]):
-                r = int(r)
-                slots = state.slots_of_owner(int(o))
-                group = counts[slots]
-                for j in np.argsort(-group):
-                    if r == 0:
-                        break
-                    grab = min(r, int(group[j]))
-                    counts[slots[j]] -= grab
-                    r -= grab
-                    consumed += grab
-        state.mark_loads_dirty()
-        return consumed
+        groups = state.consumption_groups()
+        return self._grouped_kernel(
+            state.counts,
+            self.owners.rate,
+            groups.order,
+            groups.starts,
+            groups.sizes,
+            groups.owners,
+        )
 
     # ------------------------------------------------------------------
     # measurement and packaging
@@ -450,6 +476,8 @@ class TickEngine:
         return dict(self._snapshot_loads)
 
 
-def run_simulation(config: SimulationConfig) -> SimulationResult:
+def run_simulation(
+    config: SimulationConfig, *, backend: str | None = None
+) -> SimulationResult:
     """Convenience wrapper: build an engine from config and run it."""
-    return TickEngine(config).run()
+    return TickEngine(config, backend=backend).run()

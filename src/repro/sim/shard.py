@@ -1,0 +1,398 @@
+"""Sharded parallel ticking over shared-memory slab views.
+
+:class:`ShardedTickEngine` extends :class:`~repro.sim.engine.TickEngine`
+with a consumption phase that fans out across a persistent worker pool.
+The live slab arrays are mirrored into ``multiprocessing.shared_memory``
+segments; each worker attaches zero-copy NumPy views and runs the same
+grouped kernel (:mod:`repro.sim.kernels`) over one contiguous **arc** of
+the owner-grouped CSR layout, decrementing disjoint slots of the shared
+``counts`` array in place.
+
+Determinism (the non-negotiable)
+--------------------------------
+
+Seeded results are bit-identical across shard counts, and identical to
+the single-process engine, by construction:
+
+* **Sharding follows owner groups, not raw ring positions.**  The CSR
+  grouping (:meth:`RingState.consumption_groups`) is cut into contiguous
+  chunks of *whole groups*, so no owner's identities ever straddle a
+  shard boundary and each worker's arithmetic equals the sequential
+  kernel restricted to its groups.  The grouped kernel is partition-
+  invariant: running it on the chunks in any order produces the same
+  post-tick ``counts`` as one sequential pass, because chunks touch
+  disjoint slots.
+* **The cross-shard merge is a fixed-order reduction.**  Per-shard
+  consumed totals are combined in ascending shard index (the pool's
+  ``map`` preserves submission order), never in completion order.
+* **Every RNG-consuming phase stays on the single global stream.**
+  Strategy rounds, churn, and arrivals — everything that draws
+  randomness or restructures the ring — run sequentially on the trial's
+  seeded generator, exactly as in the plain engine; only the RNG-free
+  integer arithmetic of consumption is parallelized.
+  :func:`shard_seed_streams` derives per-shard child streams from the
+  trial seed (the same ``SeedSequence.spawn`` derivation ``run_trials``
+  uses per trial) for future shard-local stochastic phases; no current
+  phase consumes them, which is precisely why shard count cannot
+  perturb a trajectory.
+
+Lifecycle
+---------
+
+The pool and the shared segments are created lazily on the first tick
+that crosses ``min_parallel_slots`` and live until :meth:`close` (also
+invoked by a ``weakref.finalize``, so abandoned engines do not leak
+segments).  Segments are sized to the slab's power-of-two capacity and
+replaced (new name, workers re-attach) when the ring outgrows them.
+"""
+
+from __future__ import annotations
+
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+
+# Sanctioned parallelism + shared memory: consumption workers mutate
+# disjoint slots and merge in fixed shard order (see module docstring);
+# no RNG or wall-clock dependence can enter through this import.
+import multiprocessing as mp  # reprolint: disable=R002 (shard worker pool)
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigError
+from repro.sim.engine import TickEngine
+from repro.sim.kernels import grouped_kernel
+
+__all__ = [
+    "ShardedTickEngine",
+    "ShardPlan",
+    "plan_shards",
+    "shard_seed_streams",
+]
+
+_I64 = np.int64
+
+#: Below this many live slots a parallel tick costs more in IPC than it
+#: saves; the sequential kernel runs instead (tests shrink this to force
+#: the parallel path on tiny rings).
+DEFAULT_MIN_PARALLEL_SLOTS = 65536
+
+
+def shard_seed_streams(
+    seed: int | np.random.SeedSequence, n_shards: int
+) -> list[np.random.SeedSequence]:
+    """Derive one child seed stream per shard from a trial seed.
+
+    Mirrors the per-trial ``SeedSequence.spawn`` derivation in
+    :func:`repro.sim.trials.run_trials`: children are independent and a
+    function of (trial seed, shard index) only.  Reserved for future
+    shard-local stochastic phases — today every random phase runs on the
+    global stream so that shard count cannot change a trajectory.
+    """
+    if n_shards < 1:
+        raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+    seq = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return seq.spawn(n_shards)
+
+
+class ShardPlan:
+    """Contiguous whole-group chunks of a CSR grouping, one per shard.
+
+    ``bounds[k] : bounds[k + 1]`` is shard ``k``'s group range;
+    ``el_bounds`` holds the matching element (slot-entry) offsets into
+    the CSR ``order`` array.  Chunks are balanced by slot count, so a
+    few giant Sybil groups cannot starve the other workers.
+    """
+
+    __slots__ = ("bounds", "el_bounds")
+
+    def __init__(self, bounds: np.ndarray, el_bounds: np.ndarray):
+        self.bounds = bounds
+        self.el_bounds = el_bounds
+
+    @property
+    def n_shards(self) -> int:
+        return self.bounds.size - 1
+
+    def chunks(self) -> list[tuple[int, int, int, int]]:
+        """``(g_lo, g_hi, el_lo, el_hi)`` per shard (empty ones kept:
+        the fixed-order merge wants one result slot per shard index)."""
+        return [
+            (
+                int(self.bounds[k]),
+                int(self.bounds[k + 1]),
+                int(self.el_bounds[k]),
+                int(self.el_bounds[k + 1]),
+            )
+            for k in range(self.n_shards)
+        ]
+
+
+def plan_shards(
+    starts: np.ndarray, n_elements: int, n_shards: int
+) -> ShardPlan:
+    """Partition ``n_groups`` CSR groups into ``n_shards`` contiguous
+    chunks with roughly equal slot counts.
+
+    ``starts[g]`` is group ``g``'s first element offset, so it doubles
+    as the cumulative-slot-count vector; splitting at the groups nearest
+    the ideal element quantiles balances work without ever splitting a
+    group.
+    """
+    if n_shards < 1:
+        raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+    n_groups = starts.size
+    targets = (n_elements * np.arange(1, n_shards, dtype=_I64)) // n_shards
+    cuts = np.searchsorted(starts, targets, side="left").astype(_I64)
+    bounds = np.concatenate(([0], cuts, [n_groups])).astype(_I64)
+    np.maximum.accumulate(bounds, out=bounds)  # monotone under tiny rings
+    el_bounds = np.append(starts, _I64(n_elements))[bounds]
+    return ShardPlan(bounds, el_bounds)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+#: name -> (SharedMemory, ndarray view); keeps attachments alive across
+#: ticks so re-attachment cost is paid once per segment generation
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def _attach(name: str, size: int, dtype) -> np.ndarray:
+    entry = _ATTACHED.get(name)
+    if entry is None:
+        if len(_ATTACHED) > 32:  # stale generations after slab growth
+            for shm, _ in _ATTACHED.values():
+                shm.close()
+            _ATTACHED.clear()
+        shm = shared_memory.SharedMemory(name=name)
+        view = np.frombuffer(shm.buf, dtype=dtype)
+        _ATTACHED[name] = (shm, view)
+    else:
+        view = entry[1]
+    return view[:size]
+
+
+def _consume_shard(task: tuple) -> int:
+    """Run the grouped kernel over one CSR chunk (executes in a worker).
+
+    Mutates the shared ``counts`` segment in place on this shard's
+    (disjoint) slot set and returns the shard's consumed total.
+    """
+    (
+        backend,
+        counts_name,
+        n_slots,
+        rates_name,
+        n_rates,
+        order_name,
+        starts_name,
+        sizes_name,
+        owners_name,
+        n_groups,
+        g_lo,
+        g_hi,
+        el_lo,
+        el_hi,
+    ) = task
+    if g_hi <= g_lo:
+        return 0
+    counts = _attach(counts_name, n_slots, _I64)
+    rates = _attach(rates_name, n_rates, _I64)
+    order = _attach(order_name, n_slots, _I64)
+    starts = _attach(starts_name, n_groups, _I64)
+    sizes = _attach(sizes_name, n_groups, _I64)
+    owners = _attach(owners_name, n_groups, _I64)
+    kernel = grouped_kernel(backend)
+    return kernel(
+        counts,
+        rates,
+        order[el_lo:el_hi],
+        starts[g_lo:g_hi] - _I64(el_lo),
+        sizes[g_lo:g_hi],
+        owners[g_lo:g_hi],
+    )
+
+
+# ----------------------------------------------------------------------
+# engine side
+# ----------------------------------------------------------------------
+class _ShmMirror:
+    """A shared-memory mirror of one int64 array, grown by replacement."""
+
+    __slots__ = ("shm", "capacity")
+
+    def __init__(self) -> None:
+        self.shm: shared_memory.SharedMemory | None = None
+        self.capacity = 0
+
+    def ensure(self, n: int) -> None:
+        if n <= self.capacity and self.shm is not None:
+            return
+        self.release()
+        cap = max(8, 1 << max(0, (n - 1).bit_length()))
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=cap * 8
+        )
+        self.capacity = cap
+
+    def write(self, arr: np.ndarray) -> None:
+        self.ensure(arr.size)
+        assert self.shm is not None
+        view = np.frombuffer(self.shm.buf, dtype=_I64)
+        view[: arr.size] = arr
+
+    def view(self, n: int) -> np.ndarray:
+        assert self.shm is not None
+        return np.frombuffer(self.shm.buf, dtype=_I64)[:n]
+
+    @property
+    def name(self) -> str:
+        assert self.shm is not None
+        return self.shm.name
+
+    def release(self) -> None:
+        if self.shm is not None:
+            self.shm.close()
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # already unlinked at interpreter exit
+                pass
+            self.shm = None
+            self.capacity = 0
+
+
+def _release_resources(pool, mirrors) -> None:
+    """Module-level so ``weakref.finalize`` holds no engine reference."""
+    if pool is not None:
+        pool.shutdown(wait=True, cancel_futures=True)
+    for m in mirrors:
+        m.release()
+
+
+class ShardedTickEngine(TickEngine):
+    """A :class:`TickEngine` whose consumption phase runs on ``shards``
+    worker processes over shared-memory slab views.
+
+    ``shards=1`` degenerates to the parent engine (no pool, no
+    segments).  All other phases — and therefore every RNG draw — are
+    inherited unchanged, which is what makes seeded results bit-identical
+    across shard counts (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        shards: int = 1,
+        min_parallel_slots: int = DEFAULT_MIN_PARALLEL_SLOTS,
+        **kwargs,
+    ):
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        super().__init__(config, **kwargs)
+        self.shards = shards
+        self.min_parallel_slots = min_parallel_slots
+        self._pool: ProcessPoolExecutor | None = None
+        self._counts_shm = _ShmMirror()
+        self._rates_shm = _ShmMirror()
+        self._csr_shm = tuple(_ShmMirror() for _ in range(4))
+        self._mirrored_groups: object | None = None
+        self._plan: ShardPlan | None = None
+        self._finalizer = weakref.finalize(
+            self,
+            _release_resources,
+            None,  # replaced once the pool exists
+            (self._counts_shm, self._rates_shm, *self._csr_shm),
+        )
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # fork keeps worker start cheap and inherits sys.path; fall
+            # back to the default (spawn) where fork is unavailable
+            methods = mp.get_all_start_methods()
+            ctx = mp.get_context("fork" if "fork" in methods else None)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.shards, mp_context=ctx
+            )
+            self._finalizer.detach()
+            self._finalizer = weakref.finalize(
+                self,
+                _release_resources,
+                self._pool,
+                (self._counts_shm, self._rates_shm, *self._csr_shm),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool and unlink the shared segments."""
+        self._finalizer()
+        self._pool = None
+        self._mirrored_groups = None
+        self._plan = None
+
+    def __enter__(self) -> "ShardedTickEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _consume_multi_slot(self) -> int:
+        state = self.state
+        if self.shards <= 1 or state.n_slots < self.min_parallel_slots:
+            return super()._consume_multi_slot()
+        return self._consume_sharded()
+
+    def _consume_sharded(self) -> int:
+        state = self.state
+        n = state.n_slots
+        groups = state.consumption_groups()
+        if groups is not self._mirrored_groups:
+            # new structural epoch: re-mirror the CSR and re-plan arcs
+            for mirror, arr in zip(
+                self._csr_shm,
+                (groups.order, groups.starts, groups.sizes, groups.owners),
+            ):
+                mirror.write(arr)
+            self._plan = plan_shards(groups.starts, n, self.shards)
+            self._mirrored_groups = groups
+        rates = self.owners.rate
+        if self._rates_shm.shm is None:  # static after init: write once
+            self._rates_shm.write(rates.astype(_I64, copy=False))
+        self._counts_shm.write(state.counts)
+
+        plan = self._plan
+        assert plan is not None
+        order_m, starts_m, sizes_m, owners_m = self._csr_shm
+        n_groups = groups.starts.size
+        tasks = [
+            (
+                self.backend,
+                self._counts_shm.name,
+                n,
+                self._rates_shm.name,
+                rates.size,
+                order_m.name,
+                starts_m.name,
+                sizes_m.name,
+                owners_m.name,
+                n_groups,
+                g_lo,
+                g_hi,
+                el_lo,
+                el_hi,
+            )
+            for g_lo, g_hi, el_lo, el_hi in plan.chunks()
+        ]
+        pool = self._ensure_pool()
+        # fixed-order merge: map() yields results in shard-index order
+        consumed = sum(pool.map(_consume_shard, tasks))
+        state.counts[:] = self._counts_shm.view(n)
+        return int(consumed)

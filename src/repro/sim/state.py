@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import bisect
 import itertools
+from typing import NamedTuple
 
 import numpy as np
 
@@ -60,7 +61,12 @@ from repro.errors import IdSpaceError, RingError
 from repro.hashspace.idspace import IdSpace
 from repro.sim.arcops import arc_lengths, in_arc_mask, responsible_slots
 
-__all__ = ["RingState", "BatchRemoval", "BatchInsertion"]
+__all__ = [
+    "RingState",
+    "BatchRemoval",
+    "BatchInsertion",
+    "ConsumptionGroups",
+]
 
 _U64 = np.uint64
 _I64 = np.int64
@@ -73,6 +79,21 @@ _MIN_CAP = 8
 
 def _pow2_at_least(n: int) -> int:
     return max(_MIN_CAP, 1 << max(0, (n - 1).bit_length()))
+
+
+class ConsumptionGroups(NamedTuple):
+    """CSR grouping of live slots by owner, for the consumption kernels.
+
+    Group ``g`` owns slot indices ``order[starts[g] : starts[g] +
+    sizes[g]]`` (ascending ring position) and belongs to physical owner
+    ``owners[g]``; owners appear in ascending index order.  Arrays are
+    cached by :meth:`RingState.consumption_groups` — treat as read-only.
+    """
+
+    order: np.ndarray
+    starts: np.ndarray
+    sizes: np.ndarray
+    owners: np.ndarray
 
 
 class _KeyPool:
@@ -300,6 +321,7 @@ class RingState:
         self._index = _OwnerIndex()
         self._loads_cache: np.ndarray | None = None
         self._loads_dirty = True
+        self._groups_cache: ConsumptionGroups | None = None
         self._refresh_views()
 
         self._check_shapes()
@@ -362,6 +384,7 @@ class RingState:
         self._main_buf[pos] = is_main
         self._counts_buf[pos] = count
         self._n = n + 1
+        self._groups_cache = None
         self._refresh_views()
 
     def _shift_remove(self, pos: int) -> None:
@@ -369,6 +392,7 @@ class RingState:
         for buf in self._slab_bufs():
             buf[pos : n - 1] = buf[pos + 1 : n]
         self._n = n - 1
+        self._groups_cache = None
         self._refresh_views()
 
     def _compress_alive(
@@ -398,6 +422,7 @@ class RingState:
         else:
             self.keys = list(itertools.compress(self.keys, alive.tolist()))
         self._n = k
+        self._groups_cache = None
         self._refresh_views()
         self.n_sybil_slots = k - int(np.count_nonzero(self._main_buf[:k]))
         self._index.dirty = True
@@ -460,6 +485,7 @@ class RingState:
         self.keys = new_keys
 
         self._n = new_n
+        self._groups_cache = None
         self._refresh_views()
         self.n_sybil_slots += m - int(np.count_nonzero(pend_main))
         self._index.dirty = True
@@ -614,6 +640,35 @@ class RingState:
         self._loads_cache = loads
         self._loads_dirty = False
         return loads
+
+    def consumption_groups(self) -> ConsumptionGroups:
+        """Owner-grouped CSR layout of the live slots (cached).
+
+        One stable argsort per *structural* epoch replaces the per-tick
+        ``lexsort`` the consumption phase historically paid: the grouping
+        only changes when slots are inserted or removed, not when counts
+        are consumed, so between churn events every tick reuses it.  The
+        arrays are shared — callers must not mutate them.
+        """
+        cached = self._groups_cache
+        if cached is not None:
+            return cached
+        owner = self._owner_view
+        gorder = np.argsort(owner, kind="stable").astype(_I64)
+        owners_sorted = owner[gorder]
+        first = np.ones(gorder.size, dtype=bool)
+        if gorder.size:
+            first[1:] = owners_sorted[1:] != owners_sorted[:-1]
+        starts = np.flatnonzero(first).astype(_I64)
+        sizes = np.diff(np.append(starts, gorder.size)).astype(_I64)
+        groups = ConsumptionGroups(
+            order=gorder,
+            starts=starts,
+            sizes=sizes,
+            owners=owners_sorted[starts],
+        )
+        self._groups_cache = groups
+        return groups
 
     # ------------------------------------------------------------------
     # mutation

@@ -1,13 +1,24 @@
-"""Structured event tracing for simulation runs (compatibility shim).
+"""DEPRECATED compatibility shim — import from :mod:`repro.obs.trace`.
 
 The tracing types moved to :mod:`repro.obs.trace` when observability
-grew into its own layer — this module re-exports them so existing
-imports (``from repro.sim.tracing import TraceRecorder``) keep working.
-New code should import from :mod:`repro.obs` directly, which also has
-the streaming :class:`~repro.obs.trace.JsonlTraceSink` for runs whose
-event streams don't fit in memory.
+grew into its own layer; this module re-exports them so pre-move
+imports (``from repro.sim.tracing import TraceRecorder``) keep working
+for one more release.  Importing it emits a :class:`DeprecationWarning`
+and the shim will be removed once downstream callers have migrated.
+:mod:`repro.obs` also has the streaming
+:class:`~repro.obs.trace.JsonlTraceSink` for runs whose event streams
+don't fit in memory.
 """
+
+import warnings
 
 from repro.obs.trace import TraceEvent, TraceRecorder
 
 __all__ = ["TraceEvent", "TraceRecorder"]
+
+warnings.warn(
+    "repro.sim.tracing is deprecated; import TraceEvent/TraceRecorder "
+    "from repro.obs.trace (or repro.obs) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

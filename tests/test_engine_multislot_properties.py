@@ -1,18 +1,21 @@
 """Property tests: grouped multi-slot consumption vs a naive reference.
 
 ``TickEngine._consume_multi_slot`` distributes each owner's per-tick
-rate across its identities with one grouped ``lexsort`` plus a residual
-loop for owners whose heaviest identity cannot cover their rate.  The
-reference below does the same thing the obvious way — one owner at a
-time, heaviest slot first — and the property demands *exact* agreement
-on both the consumed total and the full post-tick counts vector under
+rate across its identities via the grouped CSR kernel in
+``repro.sim.kernels`` (segmented ``reduceat`` reductions over the
+layout cached by ``RingState.consumption_groups``).  The reference
+below does the same thing the obvious way — one owner at a time,
+heaviest slot first — and the property demands *exact* agreement on
+both the consumed total and the full post-tick counts vector under
 random Sybil layouts.
 
 Tie-break note: among equally heavy slots the engine takes the first in
-ring order for the initial grab (stable ``lexsort``) and follows
-``np.argsort(-group)`` order in the residual loop; the reference
-reproduces both rules so the comparison isolates the *grouping*
-vectorization, which is where a regression would hide.
+ring order for the initial grab and drains the residual over the
+remaining slots in *stable* descending-count order (ring position
+breaks ties); the reference reproduces both rules so the comparison
+isolates the vectorization, which is where a regression would hide.
+Kernel-vs-historical-lexsort equivalence is pinned separately in
+``tests/test_kernels.py``.
 """
 
 import numpy as np
@@ -32,14 +35,14 @@ def naive_consume(counts, owner_of_slot, rates, slots_by_owner):
         if want == 0:
             continue
         group = counts[slots]
-        heavy = int(np.argmax(group))  # first-of-max == stable lexsort
+        heavy = int(np.argmax(group))  # first-of-max: lowest ring position
         take = min(want, int(group[heavy]))
         counts[slots[heavy]] -= take
         consumed += take
         residual = want - take
         if residual > 0:
             group = counts[slots]
-            for j in np.argsort(-group):
+            for j in np.argsort(-group, kind="stable"):
                 if residual == 0:
                     break
                 grab = min(residual, int(group[j]))

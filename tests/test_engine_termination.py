@@ -1,0 +1,137 @@
+"""Termination-edge coverage: arrivals_pending / finished / terminated.
+
+The interplay the scale work must not disturb: a run is ``finished``
+only when no tasks remain *and* the arrival window has closed; it is
+``terminated`` when it can never finish (ring death, unrecoverable
+loss); ``max_ticks`` is a truncation, not a completion.  Each edge is
+parametrized over shard counts — the sharded engine inherits the
+termination logic unchanged and must agree exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import FailureModel, SimulationConfig
+from repro.sim.engine import TickEngine
+from repro.sim.shard import ShardedTickEngine
+
+SHARD_COUNTS = [1, 2, 4]
+
+
+def build_engine(config, shards):
+    if shards == 1:
+        return TickEngine(config)
+    return ShardedTickEngine(config, shards=shards, min_parallel_slots=1)
+
+
+def run_engine(config, shards):
+    engine = build_engine(config, shards)
+    try:
+        return engine, engine.run()
+    finally:
+        if isinstance(engine, ShardedTickEngine):
+            engine.close()
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+class TestRingDeathMidArrivals:
+    CONFIG = SimulationConfig(
+        n_nodes=12,
+        n_tasks=600,
+        churn_rate=1.0,  # everyone leaves at tick 1...
+        arrival_rate=20.0,
+        arrival_until=50,
+        failures=FailureModel(
+            crash_fraction=1.0, replication_factor=0
+        ),  # ...by crashing, with no backups
+        seed=3,
+    )
+
+    def test_terminates_while_arrivals_still_pending(self, shards):
+        engine, result = run_engine(self.CONFIG, shards)
+        assert engine.terminated
+        assert engine.termination_reason == "ring_empty"
+        # the arrival window was still open when the ring died: the run
+        # is dead but not "finished" — these are distinct states
+        assert engine.arrivals_pending
+        assert not engine.finished
+        assert result.termination_reason == "ring_empty"
+        assert not result.completed
+        assert result.runtime_ticks < self.CONFIG.arrival_until
+
+    def test_lost_tasks_are_accounted(self, shards):
+        engine, result = run_engine(self.CONFIG, shards)
+        assert engine.tasks_lost > 0
+        assert (
+            result.total_consumed + engine.tasks_lost
+            >= self.CONFIG.n_tasks
+        )
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+class TestRingEmptiesOfTasksMidArrivals:
+    """``remaining == 0`` inside the arrival window must not finish."""
+
+    CONFIG = SimulationConfig(
+        n_nodes=25,
+        n_tasks=25,
+        arrival_rate=4.0,
+        arrival_until=30,
+        seed=11,
+    )
+
+    def test_drained_ring_keeps_ticking_through_window(self, shards):
+        engine = build_engine(self.CONFIG, shards)
+        try:
+            saw_drained_but_pending = False
+            while not engine.finished:
+                engine.step()
+                if engine.remaining == 0 and engine.arrivals_pending:
+                    assert not engine.finished
+                    saw_drained_but_pending = True
+            # 25 nodes drain 25 initial tasks in one tick while ~4/tick
+            # arrive: the drained-but-pending state must occur
+            assert saw_drained_but_pending
+            assert engine.tick >= self.CONFIG.arrival_until
+        finally:
+            if isinstance(engine, ShardedTickEngine):
+                engine.close()
+
+    def test_run_completes_after_window(self, shards):
+        _, result = run_engine(self.CONFIG, shards)
+        assert result.completed
+        assert result.termination_reason is None
+        assert result.runtime_ticks >= self.CONFIG.arrival_until
+        assert result.total_injected > self.CONFIG.n_tasks
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+class TestMaxTicksOnFinalConsumptionTick:
+    """One node, ten tasks, rate one: the run needs exactly ten ticks."""
+
+    def config(self, max_ticks):
+        return SimulationConfig(
+            n_nodes=1, n_tasks=10, max_ticks=max_ticks, seed=0
+        )
+
+    def test_cap_equal_to_runtime_still_completes(self, shards):
+        engine, result = run_engine(self.config(max_ticks=10), shards)
+        assert result.runtime_ticks == 10
+        assert engine.finished
+        assert result.completed
+        assert result.termination_reason is None
+        assert result.total_consumed == 10
+
+    def test_cap_one_short_truncates(self, shards):
+        engine, result = run_engine(self.config(max_ticks=9), shards)
+        assert result.runtime_ticks == 9
+        assert not engine.finished
+        assert engine.remaining == 1
+        assert not result.completed
+        assert result.termination_reason == "max_ticks"
+
+    def test_trajectories_agree_across_shard_counts(self, shards):
+        _, result = run_engine(self.config(max_ticks=10), shards)
+        _, base = run_engine(self.config(max_ticks=10), 1)
+        assert result.runtime_ticks == base.runtime_ticks
+        np.testing.assert_array_equal(result.final_loads, base.final_loads)

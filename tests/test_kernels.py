@@ -1,0 +1,223 @@
+"""Property tests for the consumption kernels (repro.sim.kernels).
+
+The vectorized grouped kernel (and, when installed, the numba-jitted
+one) must agree *bit for bit* with ``consume_grouped_reference`` — the
+historical per-tick lexsort implementation — on the post-tick counts
+vector and the consumed total, the same slab-vs-naive equivalence
+pattern the ring rewrite used.  A partition-invariance property checks
+the math the sharded engine relies on: running the kernel on contiguous
+CSR chunks is indistinguishable from one sequential pass.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.sim import kernels
+from repro.sim.kernels import (
+    HAVE_NUMBA,
+    available_backends,
+    consume_fast,
+    consume_grouped,
+    consume_grouped_reference,
+    fast_kernel,
+    grouped_kernel,
+    resolve_backend,
+)
+
+I64 = np.int64
+
+
+def build_csr(owner: np.ndarray):
+    """The engine-side CSR derivation (mirrors consumption_groups)."""
+    gorder = np.argsort(owner, kind="stable").astype(I64)
+    owners_sorted = owner[gorder]
+    first = np.ones(gorder.size, dtype=bool)
+    if gorder.size:
+        first[1:] = owners_sorted[1:] != owners_sorted[:-1]
+    starts = np.flatnonzero(first).astype(I64)
+    sizes = np.diff(np.append(starts, gorder.size)).astype(I64)
+    return gorder, starts, sizes, owners_sorted[starts]
+
+
+def random_workload(rng, n_owners, max_group, max_count, max_rate):
+    """Random slot->owner layout with interleaved groups (like a ring)."""
+    sizes = rng.integers(1, max_group + 1, size=n_owners)
+    owner = np.repeat(np.arange(n_owners, dtype=I64), sizes)
+    rng.shuffle(owner)  # ring positions interleave owners
+    counts = rng.integers(0, max_count + 1, size=owner.size, dtype=I64)
+    rates = rng.integers(0, max_rate + 1, size=n_owners, dtype=I64)
+    return counts, owner, rates
+
+
+workload_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 2**31 - 1),
+        "n_owners": st.integers(1, 60),
+        "max_group": st.integers(1, 7),
+        "max_count": st.integers(0, 40),
+        # rates beyond any single slot's count force the residual path
+        "max_rate": st.integers(0, 120),
+    }
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(params=workload_params)
+def test_grouped_numpy_matches_reference(params):
+    rng = np.random.default_rng(params["seed"])
+    counts, owner, rates = random_workload(
+        rng,
+        params["n_owners"],
+        params["max_group"],
+        params["max_count"],
+        params["max_rate"],
+    )
+    expected = counts.copy()
+    expected_total = consume_grouped_reference(expected, owner, rates)
+
+    got = counts.copy()
+    gorder, starts, sizes, gowner = build_csr(owner)
+    got_total = consume_grouped(got, rates, gorder, starts, sizes, gowner)
+
+    assert got_total == expected_total
+    np.testing.assert_array_equal(got, expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=workload_params, n_chunks=st.integers(1, 6))
+def test_grouped_kernel_is_partition_invariant(params, n_chunks):
+    """Consuming CSR chunks independently == one sequential pass.
+
+    This is the exact property the sharded engine's correctness rests
+    on (shard workers each run the kernel on one contiguous chunk)."""
+    rng = np.random.default_rng(params["seed"])
+    counts, owner, rates = random_workload(
+        rng,
+        params["n_owners"],
+        params["max_group"],
+        params["max_count"],
+        params["max_rate"],
+    )
+    gorder, starts, sizes, gowner = build_csr(owner)
+
+    expected = counts.copy()
+    expected_total = consume_grouped(
+        expected, rates, gorder, starts, sizes, gowner
+    )
+
+    got = counts.copy()
+    got_total = 0
+    n_groups = starts.size
+    bounds = np.linspace(0, n_groups, n_chunks + 1).astype(int)
+    ends = np.append(starts, gorder.size)
+    for k in range(n_chunks):
+        g_lo, g_hi = int(bounds[k]), int(bounds[k + 1])
+        if g_hi <= g_lo:
+            continue
+        el_lo, el_hi = int(starts[g_lo]), int(ends[g_hi])
+        got_total += consume_grouped(
+            got,
+            rates,
+            gorder[el_lo:el_hi],
+            starts[g_lo:g_hi] - el_lo,
+            sizes[g_lo:g_hi],
+            gowner[g_lo:g_hi],
+        )
+
+    assert got_total == expected_total
+    np.testing.assert_array_equal(got, expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(1, 200),
+    max_rate=st.integers(0, 30),
+)
+def test_fast_kernel_matches_reference_on_singletons(seed, n, max_rate):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 50, size=n, dtype=I64)
+    owner = rng.permutation(n).astype(I64)  # one slot per owner
+    rates = rng.integers(0, max_rate + 1, size=n, dtype=I64)
+
+    expected = counts.copy()
+    expected_total = consume_grouped_reference(expected, owner, rates)
+
+    got = counts.copy()
+    got_total = consume_fast(got, owner, rates)
+
+    assert got_total == expected_total
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_grouped_handles_empty_ring():
+    empty = np.empty(0, dtype=I64)
+    assert consume_grouped(empty, empty, empty, empty, empty, empty) == 0
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+@settings(max_examples=30, deadline=None)
+@given(params=workload_params)
+def test_grouped_numba_matches_numpy(params):
+    rng = np.random.default_rng(params["seed"])
+    counts, owner, rates = random_workload(
+        rng,
+        params["n_owners"],
+        params["max_group"],
+        params["max_count"],
+        params["max_rate"],
+    )
+    gorder, starts, sizes, gowner = build_csr(owner)
+
+    ref = counts.copy()
+    ref_total = consume_grouped(ref, rates, gorder, starts, sizes, gowner)
+
+    jit = counts.copy()
+    jit_total = grouped_kernel("numba")(
+        jit, rates, gorder, starts, sizes, gowner
+    )
+    assert jit_total == ref_total
+    np.testing.assert_array_equal(jit, ref)
+
+    fast_ref = counts.copy()
+    fast_ref_total = consume_fast(fast_ref, owner, rates)
+    fast_jit = counts.copy()
+    fast_jit_total = fast_kernel("numba")(fast_jit, owner, rates)
+    assert fast_jit_total == fast_ref_total
+    np.testing.assert_array_equal(fast_jit, fast_ref)
+
+
+class TestBackendRegistry:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(kernels.BACKEND_ENV, raising=False)
+        assert resolve_backend(None) == "numpy"
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV, "numpy")
+        assert resolve_backend(None) == "numpy"
+        monkeypatch.setenv(kernels.BACKEND_ENV, "not-a-backend")
+        with pytest.raises(ConfigError, match="unknown simulation backend"):
+            resolve_backend(None)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="unknown simulation backend"):
+            resolve_backend("fortran")
+
+    def test_numba_without_numba_is_explicit(self):
+        if HAVE_NUMBA:
+            pytest.skip("numba installed: request is satisfiable")
+        with pytest.raises(ConfigError, match="numba"):
+            resolve_backend("numba")
+
+    def test_available_backends(self):
+        avail = available_backends()
+        assert "numpy" in avail
+        assert ("numba" in avail) == HAVE_NUMBA
+
+    def test_kernel_lookup_defaults_to_numpy(self):
+        assert fast_kernel("numpy") is consume_fast
+        assert grouped_kernel("numpy") is consume_grouped

@@ -116,6 +116,39 @@ class TestR002NondeterminismHazard:
         )
         assert run_rules(tmp_path, "R002") == []
 
+    def test_fires_on_parallelism_imports(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/rogue.py": (
+                    "import multiprocessing\n"
+                    "import threading\n"
+                    "from concurrent.futures import ProcessPoolExecutor\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R002")
+        assert rule_ids(findings) == {"R002"}
+        assert len(findings) == 3
+        assert all("PARALLELISM_ALLOWLIST" in f.message for f in findings)
+
+    def test_parallelism_allowlist_covers_shard_and_trials(self, tmp_path):
+        source = (
+            "import multiprocessing as mp\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+        )
+        write_tree(
+            tmp_path,
+            {
+                # the sanctioned fixed-order-merge modules
+                "repro/sim/shard.py": source,
+                "repro/sim/trials.py": source,
+                # out-of-scope layer: the analysis CLI may pool freely
+                "repro/viz/pool.py": source,
+            },
+        )
+        assert run_rules(tmp_path, "R002") == []
+
 
 class TestR003Uint64Arithmetic:
     def test_fires_on_float_mix_division_and_subtraction(self, tmp_path):

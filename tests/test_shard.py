@@ -1,0 +1,214 @@
+"""Tests for the sharded tick engine (repro.sim.shard).
+
+The headline property is the issue's non-negotiable: seeded results are
+**bit-identical** across ``shards`` ∈ {1, 2, 4} and identical to the
+plain single-process engine, under Sybil strategies, churn, crashes,
+and streaming arrivals.  ``min_parallel_slots`` is forced low so the
+tiny test rings actually exercise the worker-pool path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import FailureModel, SimulationConfig
+from repro.errors import ConfigError
+from repro.obs.metrics import result_fingerprint
+from repro.sim.engine import TickEngine
+from repro.sim.shard import (
+    ShardedTickEngine,
+    plan_shards,
+    shard_seed_streams,
+)
+from repro.sim.trials import run_trial
+
+I64 = np.int64
+
+
+# ----------------------------------------------------------------------
+# shard planning
+# ----------------------------------------------------------------------
+class TestPlanShards:
+    def _csr(self, sizes):
+        sizes = np.asarray(sizes, dtype=I64)
+        starts = np.concatenate(([0], np.cumsum(sizes[:-1]))).astype(I64)
+        return starts, int(sizes.sum())
+
+    def test_covers_all_groups_without_splitting(self):
+        starts, n = self._csr([3, 1, 4, 2, 2, 5, 1, 6])
+        plan = plan_shards(starts, n, 3)
+        chunks = plan.chunks()
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == starts.size
+        for (_, g_hi, _, el_hi), (g_lo, _, el_lo, _) in zip(
+            chunks, chunks[1:]
+        ):
+            assert g_hi == g_lo  # contiguous: no gap, no overlap
+            assert el_hi == el_lo
+        # element bounds always land on group boundaries
+        ends = np.append(starts, n)
+        for g_lo, g_hi, el_lo, el_hi in chunks:
+            assert el_lo == int(ends[g_lo]) if g_lo < starts.size else n
+            assert el_hi == int(ends[g_hi]) if g_hi < starts.size else n
+
+    def test_balances_by_slot_count(self):
+        # 100 groups of 10 slots: 4 shards should get ~250 slots each
+        starts, n = self._csr([10] * 100)
+        plan = plan_shards(starts, n, 4)
+        sizes = [el_hi - el_lo for _, _, el_lo, el_hi in plan.chunks()]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 10  # within one group
+
+    def test_more_shards_than_groups(self):
+        starts, n = self._csr([2, 3])
+        plan = plan_shards(starts, n, 8)
+        chunks = plan.chunks()
+        assert len(chunks) == 8
+        covered = [
+            (g_lo, g_hi) for g_lo, g_hi, _, _ in chunks if g_hi > g_lo
+        ]
+        assert sum(hi - lo for lo, hi in covered) == 2
+
+    def test_single_shard(self):
+        starts, n = self._csr([1, 2, 3])
+        plan = plan_shards(starts, n, 1)
+        assert plan.chunks() == [(0, 3, 0, n)]
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ConfigError):
+            plan_shards(np.zeros(1, dtype=I64), 1, 0)
+
+
+class TestSeedStreams:
+    def test_deterministic_and_independent(self):
+        a = shard_seed_streams(123, 4)
+        b = shard_seed_streams(123, 4)
+        assert len(a) == 4
+        for sa, sb in zip(a, b):
+            assert sa.spawn_key == sb.spawn_key
+            assert (
+                sa.generate_state(2).tolist()
+                == sb.generate_state(2).tolist()
+            )
+        states = {tuple(s.generate_state(2).tolist()) for s in a}
+        assert len(states) == 4
+
+    def test_accepts_seed_sequence(self):
+        seq = np.random.SeedSequence(9)
+        assert len(shard_seed_streams(seq, 2)) == 2
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigError):
+            shard_seed_streams(0, 0)
+
+
+# ----------------------------------------------------------------------
+# engine equivalence (the bit-identity gate)
+# ----------------------------------------------------------------------
+SYBIL_CONFIG = SimulationConfig(
+    strategy="invitation",
+    n_nodes=50,
+    n_tasks=3000,
+    churn_rate=0.02,
+    heterogeneous=True,
+    work_measurement="strength",
+    max_sybils=5,
+    seed=424242,
+)
+
+
+def sharded_result(config, shards, **kwargs):
+    with ShardedTickEngine(
+        config, shards=shards, min_parallel_slots=1, **kwargs
+    ) as engine:
+        return engine.run()
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_matches_plain_engine(self, shards):
+        base = TickEngine(SYBIL_CONFIG).run()
+        sharded = sharded_result(SYBIL_CONFIG, shards)
+        assert result_fingerprint(sharded) == result_fingerprint(base)
+        assert sharded.runtime_ticks == base.runtime_ticks
+        assert sharded.counters == base.counters
+        np.testing.assert_array_equal(sharded.final_loads, base.final_loads)
+
+    def test_shards_with_arrivals_and_crashes(self):
+        config = SimulationConfig(
+            strategy="random_injection",
+            n_nodes=40,
+            n_tasks=1500,
+            churn_rate=0.05,
+            arrival_rate=30.0,
+            arrival_until=20,
+            max_sybils=4,
+            failures=FailureModel(
+                crash_fraction=0.3, replication_factor=1
+            ),
+            seed=77,
+        )
+        base = TickEngine(config).run()
+        fingerprints = {
+            result_fingerprint(sharded_result(config, s)) for s in (1, 2, 4)
+        }
+        assert fingerprints == {result_fingerprint(base)}
+
+    def test_run_trial_shards_parameter(self):
+        seq = np.random.SeedSequence(5)
+        base = run_trial(SYBIL_CONFIG, seq)
+        sharded = run_trial(
+            SYBIL_CONFIG, np.random.SeedSequence(5),
+            shards=3, min_parallel_slots=1,
+        )
+        assert result_fingerprint(sharded) == result_fingerprint(base)
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_shards_one_never_builds_a_pool(self):
+        with ShardedTickEngine(
+            SYBIL_CONFIG, shards=1, min_parallel_slots=1
+        ) as engine:
+            engine.run()
+            assert engine._pool is None
+
+    def test_parallel_path_actually_engaged(self):
+        with ShardedTickEngine(
+            SYBIL_CONFIG, shards=2, min_parallel_slots=1
+        ) as engine:
+            engine.run()
+            # the pool (and shm mirrors) only exist if workers consumed
+            assert engine._pool is not None
+            assert engine._counts_shm.shm is not None
+
+    def test_below_threshold_stays_sequential(self):
+        with ShardedTickEngine(
+            SYBIL_CONFIG, shards=2, min_parallel_slots=10**9
+        ) as engine:
+            result = engine.run()
+            assert engine._pool is None
+        assert result_fingerprint(result) == result_fingerprint(
+            TickEngine(SYBIL_CONFIG).run()
+        )
+
+    def test_close_is_idempotent(self):
+        engine = ShardedTickEngine(
+            SYBIL_CONFIG, shards=2, min_parallel_slots=1
+        )
+        for _ in range(12):
+            engine.step()
+        engine.close()
+        engine.close()
+        assert engine._counts_shm.shm is None
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardedTickEngine(SYBIL_CONFIG, shards=0)
+
+    def test_backend_forwarded(self):
+        with ShardedTickEngine(
+            SYBIL_CONFIG, shards=2, backend="numpy"
+        ) as engine:
+            assert engine.backend == "numpy"

@@ -1,12 +1,27 @@
 """Tests for the structured event trace."""
 
+import importlib
 import json
+import sys
 
 import pytest
 
 from repro.config import SimulationConfig
+from repro.obs.trace import TraceRecorder
 from repro.sim.engine import TickEngine
-from repro.sim.tracing import TraceRecorder
+
+
+def test_sim_tracing_shim_warns_on_import():
+    """The legacy ``repro.sim.tracing`` shim must announce itself.
+
+    The module may already be cached from another test's import, so the
+    warning is asserted on a forced re-execution of the module body.
+    """
+    sys.modules.pop("repro.sim.tracing", None)
+    with pytest.warns(DeprecationWarning, match="repro.sim.tracing"):
+        shim = importlib.import_module("repro.sim.tracing")
+    # the shim still re-exports the moved types
+    assert shim.TraceRecorder is TraceRecorder
 
 
 def traced_run(**overrides):
