@@ -10,7 +10,7 @@ BENCH_TICK_CURRENT  := benchmarks/.bench_tick_current.json
 
 .PHONY: test lint typecheck bench bench-baseline bench-check \
 	bench-tick bench-tick-baseline bench-tick-check \
-	sweep-resume-check obs-smoke check figures
+	sweep-resume-check obs-smoke net-smoke check figures
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -67,10 +67,16 @@ sweep-resume-check:
 obs-smoke:
 	$(PYTHON) scripts/obs_smoke.py
 
+# boot a 4-node `repro serve` ring, run a ~5s seeded stress workload
+# per strategy (none + random_injection), require non-zero successes
+# and a clean SIGTERM shutdown (see scripts/net_smoke.py)
+net-smoke:
+	$(PYTHON) scripts/net_smoke.py
+
 # the full tier-1 gate: static analysis, unit/property tests, perf
-# regression, resume, observability
+# regression, resume, observability, live serving
 check: lint typecheck test bench-check bench-tick-check \
-	sweep-resume-check obs-smoke
+	sweep-resume-check obs-smoke net-smoke
 
 figures:
 	$(PYTHON) -m repro.cli figures --out figures/

@@ -56,8 +56,11 @@ class SimNetwork:
     def __init__(self) -> None:
         self._nodes: dict[int, "ChordNode"] = {}
         self.messages = Counter()
-        #: ids whose next incoming RPC should fail once (fault injection)
-        self._drop_once: set[int] = set()
+        #: per-id count of pending forced drops: the next N RPCs to the
+        #: id fail in transit.  A Counter (not a set) so repeated arming
+        #: stacks — forcing a *chain* of drops is how the retry
+        #: accounting is pinned by tests.
+        self._drop_once: Counter[int] = Counter()
         # -- probabilistic fault plane (inert by default) ---------------
         #: probability that any RPC is dropped in transit
         self.loss_rate = 0.0
@@ -84,10 +87,20 @@ class SimNetwork:
         if node.id in self._nodes and self._nodes[node.id].alive:
             raise ProtocolError(f"id {node.id} already registered and alive")
         self._nodes[node.id] = node
-        self._crashed_at.pop(node.id, None)
+        # A fresh node under a reused id must not inherit the previous
+        # owner's fault state: crash bookkeeping, per-link loss rate, or
+        # one-shot drops armed against the dead node.
+        self._purge_fault_state(node.id)
 
     def deregister(self, node_id: int) -> None:
         self._nodes.pop(node_id, None)
+        self._purge_fault_state(node_id)
+
+    def _purge_fault_state(self, node_id: int) -> None:
+        """Forget per-id fault-injection state (id removed or reused)."""
+        self._crashed_at.pop(node_id, None)
+        self._link_loss.pop(node_id, None)
+        self._drop_once.pop(node_id, None)
 
     def node(self, node_id: int) -> "ChordNode":
         """Direct (non-RPC) access for orchestration and assertions."""
@@ -132,9 +145,16 @@ class SimNetwork:
     # ------------------------------------------------------------------
     # fault injection
     # ------------------------------------------------------------------
-    def drop_next_rpc_to(self, node_id: int) -> None:
-        """Make the next RPC to ``node_id`` fail once (transient fault)."""
-        self._drop_once.add(node_id)
+    def drop_next_rpc_to(self, node_id: int, count: int = 1) -> None:
+        """Make the next ``count`` RPCs to ``node_id`` fail in transit.
+
+        Repeated calls stack (two arms == the next two RPCs drop), which
+        is what lets tests force a drop *chain* through
+        :meth:`rpc_retry` and assert its exact message/retry accounting.
+        """
+        if count < 1:
+            raise ProtocolError(f"drop count must be >= 1, got {count}")
+        self._drop_once[node_id] += count
 
     def configure_faults(
         self,
@@ -152,6 +172,10 @@ class SimNetwork:
         self.crash_detection_ticks = crash_detection_ticks
         self.replication_factor = replication_factor
         if transient_retries is not None:
+            if transient_retries < 0:
+                raise ProtocolError(
+                    f"transient_retries must be >= 0, got {transient_retries}"
+                )
             self.transient_retries = transient_retries
         if loss_rate > 0 or self._link_loss:
             self._fault_rng = make_rng(seed)
@@ -197,8 +221,10 @@ class SimNetwork:
         detected failure, but only the former is worth retrying.
         """
         self.messages[method] += 1
-        if target_id in self._drop_once:
-            self._drop_once.discard(target_id)
+        if self._drop_once.get(target_id, 0) > 0:
+            self._drop_once[target_id] -= 1
+            if self._drop_once[target_id] <= 0:
+                del self._drop_once[target_id]
             self.drops += 1
             raise TransientNetworkError(
                 f"rpc {method} to {target_id} dropped"
@@ -230,6 +256,16 @@ class SimNetwork:
         Spends at most ``transient_retries`` resends; each one counts a
         message (it is one) and a retry.  Dead/unknown endpoints are
         not retried — a timeout there is a detection, not noise.
+
+        Exact accounting per call (pinned by tests): with ``k`` transit
+        drops and budget ``b = transient_retries``,
+
+        * ``k <= b`` (eventually delivered): ``k + 1`` messages,
+          ``k`` retries, ``k`` drops;
+        * ``k > b`` (budget exhausted, raises): ``b + 1`` messages,
+          ``b`` retries, ``b + 1`` drops — the final failed send is a
+          message and a drop but not a retry, because nothing is
+          re-sent after it.
         """
         attempts = self.transient_retries
         while True:
@@ -246,7 +282,23 @@ class SimNetwork:
         return sum(self.messages.values())
 
     def reset_messages(self) -> None:
+        """Zero the whole message plane: per-method counts *and* the
+        fault counters (``drops``/``retries``/``fallbacks``).
+
+        The fault counters are message accounting too — a drop is a
+        message that died in transit, a retry is a resend.  Resetting
+        only ``messages`` (the old behaviour) made ``fault_stats()``
+        leak counts across trials that reset between phases, silently
+        corrupting any per-phase fault measurement.
+        """
         self.messages.clear()
+        self.reset_fault_stats()
+
+    def reset_fault_stats(self) -> None:
+        """Zero ``drops``/``retries``/``fallbacks`` only (keep messages)."""
+        self.drops = 0
+        self.retries = 0
+        self.fallbacks = 0
 
     def fault_stats(self) -> dict[str, int]:
         """Fault-plane accounting alongside the message counts."""

@@ -36,6 +36,16 @@ Subcommands
 ``repro lint [paths] [--json] [--select R00x,...] [--list-rules]``
     Run the reprolint determinism/correctness rules (R001-R006, see
     docs/static-analysis.md); exits non-zero on any error finding.
+``repro serve [--port P] [--join HOST:PORT] [--ring N] [--strategy S] ...``
+    Run one live asyncio DHT node on real TCP sockets (or, with
+    ``--ring N``, a local multi-process ring).  Prints a
+    ``REPRO-SERVE-READY {...}`` line once the node is addressable; stops
+    gracefully on SIGINT/SIGTERM.  See docs/serving.md.
+``repro stress TARGET [TARGET ...] [--duration S] [--concurrency N] ...``
+    Replay seeded concurrent get/put traffic against live nodes and
+    report wall-clock latency percentiles plus rebalance-convergence
+    time (``--json`` for the machine-readable summary; exits non-zero
+    if not a single request succeeded).
 
 Caching: completed trials persist under ``~/.cache/repro`` (override
 with ``REPRO_CACHE_DIR``), so re-running any experiment is a cache hit.
@@ -260,6 +270,90 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+
+    serve_p = sub.add_parser(
+        "serve", help="run a live DHT node (or --ring N local ring)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (0 = ephemeral; the READY line has it)",
+    )
+    serve_p.add_argument(
+        "--id", type=int, default=None,
+        help="ring identifier (default: SHA-1 of host:port)",
+    )
+    serve_p.add_argument(
+        "--join", default=None, metavar="HOST:PORT",
+        help="bootstrap endpoint of an existing ring (default: create)",
+    )
+    serve_p.add_argument(
+        "--ring", type=int, default=None, metavar="N",
+        help="spawn a local N-node multi-process ring instead of one node",
+    )
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument("--bits", type=int, default=64)
+    serve_p.add_argument("--successors", type=int, default=5)
+    serve_p.add_argument(
+        "--strategy", default="none",
+        choices=["none", "random_injection", "neighbor_injection", "invitation"],
+        help="live balancing strategy driven from the stabilize loop",
+    )
+    serve_p.add_argument("--sybil-threshold", type=int, default=0)
+    serve_p.add_argument("--max-sybils", type=int, default=5)
+    serve_p.add_argument(
+        "--decision-interval", type=int, default=5,
+        help="maintenance cycles between balancer decision rounds",
+    )
+    serve_p.add_argument(
+        "--maintenance-interval", type=float, default=0.2,
+        help="seconds between maintenance cycles (seeded jitter applied)",
+    )
+    serve_p.add_argument("--heartbeat-interval", type=float, default=1.0)
+    serve_p.add_argument(
+        "--timeout", type=float, default=1.0,
+        help="per-message transport timeout in seconds",
+    )
+    serve_p.add_argument(
+        "--retries", type=int, default=2,
+        help="transparent resends after transient transport failures",
+    )
+
+    stress_p = sub.add_parser(
+        "stress", help="seeded load generator against live nodes"
+    )
+    stress_p.add_argument(
+        "targets", nargs="+", metavar="HOST:PORT",
+        help="live node endpoints to spread requests over",
+    )
+    stress_p.add_argument("--duration", type=float, default=5.0)
+    stress_p.add_argument("--concurrency", type=int, default=8)
+    stress_p.add_argument("--seed", type=int, default=0)
+    stress_p.add_argument("--bits", type=int, default=64)
+    stress_p.add_argument(
+        "--key-dist", choices=["uniform", "clustered", "zipf"],
+        default="uniform", help="key skew (same models as the simulator)",
+    )
+    stress_p.add_argument("--n-clusters", type=int, default=8)
+    stress_p.add_argument("--cluster-spread", type=float, default=0.01)
+    stress_p.add_argument("--zipf-exponent", type=float, default=1.2)
+    stress_p.add_argument("--get-fraction", type=float, default=0.5)
+    stress_p.add_argument("--key-pool", type=int, default=512)
+    stress_p.add_argument("--poll-interval", type=float, default=0.5)
+    stress_p.add_argument(
+        "--imbalance-threshold", type=float, default=2.0,
+        help="max/mean identity load counted as rebalance-converged",
+    )
+    stress_p.add_argument("--timeout", type=float, default=1.0)
+    stress_p.add_argument("--retries", type=int, default=1)
+    stress_p.add_argument(
+        "--trace", type=Path, default=None,
+        help="write a JSONL trace of every request and poll here",
+    )
+    stress_p.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable summary (sorted keys)",
     )
 
     rep_p = sub.add_parser(
@@ -672,6 +766,140 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.ring is not None:
+        return _serve_ring(args)
+    import asyncio
+    import json as _json
+    import signal
+
+    from repro.net.cluster import READY_PREFIX
+    from repro.net.node import LiveNode, LiveNodeConfig
+    from repro.net.transport import RetryPolicy, parse_address
+
+    async def _run() -> None:
+        config = LiveNodeConfig(
+            seed=args.seed,
+            bits=args.bits,
+            n_successors=args.successors,
+            strategy=args.strategy,
+            sybil_threshold=args.sybil_threshold,
+            max_sybils=args.max_sybils,
+            decision_interval=args.decision_interval,
+            maintenance_interval=args.maintenance_interval,
+            heartbeat_interval=args.heartbeat_interval,
+            policy=RetryPolicy(timeout=args.timeout, retries=args.retries),
+        )
+        node = LiveNode(args.host, args.port, config, node_id=args.id)
+        bootstrap = parse_address(args.join) if args.join else None
+        await node.start(bootstrap)
+        print(
+            READY_PREFIX
+            + _json.dumps(
+                {
+                    "id": node.main.id,
+                    "host": node.addr[0],
+                    "port": node.addr[1],
+                    "strategy": args.strategy,
+                },
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, node.request_stop)
+        await node.run_until_stopped()
+        await node.stop()
+
+    asyncio.run(_run())
+    return 0
+
+
+def _serve_ring(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.net.cluster import LocalCluster
+
+    cluster = LocalCluster(
+        args.ring,
+        seed=args.seed,
+        strategy=args.strategy,
+        bits=args.bits,
+        sybil_threshold=args.sybil_threshold,
+        max_sybils=args.max_sybils,
+        maintenance_interval=args.maintenance_interval,
+        host=args.host,
+    )
+    cluster.start()
+    for node in cluster.nodes:
+        print(
+            f"ring node {node.index}: id={node.node_id} "
+            f"{node.host}:{node.port}",
+            flush=True,
+        )
+    print(f"ring of {args.ring} up; SIGINT/SIGTERM stops it", flush=True)
+    stop = {"requested": False}
+    signal.signal(signal.SIGTERM, lambda *_: stop.update(requested=True))
+    try:
+        while not stop["requested"] and all(n.alive() for n in cluster.nodes):
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    return 0 if cluster.stop() else 1
+
+
+def _cmd_stress(args: argparse.Namespace) -> int:
+    import contextlib
+    import json as _json
+
+    from repro.net.stress import StressConfig, run_stress_sync
+    from repro.net.transport import RetryPolicy, parse_address
+    from repro.obs import JsonlTraceSink
+    from repro.util.tables import format_kv
+
+    config = StressConfig(
+        targets=tuple(parse_address(t) for t in args.targets),
+        duration=args.duration,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        bits=args.bits,
+        key_distribution=args.key_dist,
+        n_clusters=args.n_clusters,
+        cluster_spread=args.cluster_spread,
+        zipf_exponent=args.zipf_exponent,
+        get_fraction=args.get_fraction,
+        key_pool=args.key_pool,
+        poll_interval=args.poll_interval,
+        imbalance_threshold=args.imbalance_threshold,
+        policy=RetryPolicy(timeout=args.timeout, retries=args.retries),
+    )
+    with contextlib.ExitStack() as stack:
+        trace = (
+            stack.enter_context(JsonlTraceSink(args.trace))
+            if args.trace
+            else None
+        )
+        summary = run_stress_sync(config, trace=trace)
+    if args.json:
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        flat = {
+            "targets": summary["targets"],
+            "requests": summary["requests"]["total"],
+            "success": summary["requests"]["success"],
+            "error rate": summary["requests"]["error_rate"],
+            "p50/p95/p99 (ms)": "/".join(
+                str(summary["latency_ms"][p]) for p in ("p50", "p95", "p99")
+            ),
+            "throughput (req/s)": summary["throughput_rps"],
+            "rebalance converged": summary["rebalance"]["converged"],
+            "rebalance seconds": summary["rebalance"]["seconds"],
+        }
+        print(format_kv(flat))
+    return 0 if summary["requests"]["success"] > 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "no_cache", False):
@@ -714,6 +942,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_theory(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "stress":
+        return _cmd_stress(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

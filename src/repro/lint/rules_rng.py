@@ -165,15 +165,34 @@ _BANNED_TIME_CALLS = {
     ("datetime", "today"),
 }
 
-#: Files allowed to read the wall clock: user-facing reporting, where
-#: elapsed-seconds output is the point and never feeds simulation state.
-WALLCLOCK_ALLOWLIST = ("repro/cli.py",)
+#: Files allowed to read the wall clock: user-facing reporting and the
+#: live measurement layer, where elapsed-seconds output is the point and
+#: never feeds simulation state.  Only the *clock* check is waived —
+#: id()-keys, set-order, and parallelism checks still apply.
+WALLCLOCK_ALLOWLIST = (
+    "repro/cli.py",
+    # The stress generator exists to measure wall-clock latency and
+    # convergence time on a live ring; every decision it makes (keys,
+    # targets, op mix) still comes from seeded generators.
+    "repro/net/stress.py",
+    # Subprocess startup/shutdown deadlines: timeouts on real child
+    # processes are inherently wall-clock; nothing feeds results.
+    "repro/net/cluster.py",
+)
 
-#: Top-level modules whose import signals process/thread parallelism —
-#: scheduling and completion order are run-varying state, so these are
-#: banned in simulation logic except where a fixed-order merge makes the
-#: parallelism invisible to fingerprinted outputs.
-_PARALLEL_MODULES = {"multiprocessing", "threading", "concurrent"}
+#: Top-level modules whose import signals process/thread parallelism or
+#: real network I/O — scheduling, completion, and message-arrival order
+#: are run-varying state, so these are banned in simulation logic except
+#: where a fixed-order merge makes the parallelism invisible to
+#: fingerprinted outputs (or the module is the live layer itself).
+_PARALLEL_MODULES = {
+    "multiprocessing",
+    "threading",
+    "concurrent",
+    "asyncio",
+    "socket",
+    "selectors",
+}
 
 #: Files allowed to import parallelism machinery.  Each entry exists
 #: because its merge discipline provably removes scheduling order from
@@ -189,6 +208,19 @@ PARALLELISM_ALLOWLIST = (
     # own spawned SeedSequence; results are keyed by trial index, so
     # completion order cannot reorder anything observable.
     "repro/sim/trials.py",
+    # The live layer (repro/net/) runs on real sockets by design; it is
+    # strictly additive — nothing in the simulation path imports it, so
+    # its scheduling nondeterminism cannot reach a fingerprinted output
+    # (the obs-smoke bit-identity gate enforces the separation):
+    # asyncio + socket: the wire protocol itself.
+    "repro/net/transport.py",
+    # asyncio server/tasks + a thread pool for blocking protocol work;
+    # all *decisions* (jitter, Sybil placement) stay on seeded RNGs.
+    "repro/net/node.py",
+    # asyncio load-generator workers; op/key/target choices are seeded.
+    "repro/net/stress.py",
+    # threading: one stdout-reader thread per spawned serve subprocess.
+    "repro/net/cluster.py",
 )
 
 #: Builtins through which consuming a set is order-safe.
@@ -216,7 +248,9 @@ class NondeterminismHazard(Rule):
     """R002: no run-varying state inside ordering-sensitive logic.
 
     Scope: ``sim/``, ``chord/``, ``core/``, ``experiments/`` (plus
-    ``hashspace/``) — the layers whose outputs are fingerprint-pinned.
+    ``hashspace/``, ``obs/``, and ``net/``) — the layers whose outputs
+    are fingerprint-pinned, plus the live layer where only the
+    explicitly allowlisted wall-clock/parallelism uses are sanctioned.
     Flags:
 
     * wall-clock / entropy calls (``time.time``, ``time.monotonic``,
@@ -239,18 +273,22 @@ class NondeterminismHazard(Rule):
     name = "nondeterminism-hazard"
     summary = "no wall clock, uuid, id()-keys, or set-order in sim logic"
 
-    SCOPE_DIRS = ("sim", "chord", "core", "experiments", "hashspace", "obs")
+    SCOPE_DIRS = ("sim", "chord", "core", "experiments", "hashspace", "obs", "net")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        if any(ctx.path.endswith(tail) for tail in WALLCLOCK_ALLOWLIST):
-            return
         if not ctx.in_dirs(*self.SCOPE_DIRS):
             return
+        # Allowlists are per-check, not per-file: a wall-clock waiver
+        # must not also waive set-order or parallelism findings.
+        clock_ok = any(
+            ctx.path.endswith(tail) for tail in WALLCLOCK_ALLOWLIST
+        )
         parallel_ok = any(
             ctx.path.endswith(tail) for tail in PARALLELISM_ALLOWLIST
         )
         for node in ast.walk(ctx.tree):
-            yield from self._check_clock_call(ctx, node)
+            if not clock_ok:
+                yield from self._check_clock_call(ctx, node)
             yield from self._check_id_keys(ctx, node)
             yield from self._check_set_order(ctx, node)
             if not parallel_ok:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.chord.network import SimNetwork
 from repro.chord.node import ChordNode
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, TransientNetworkError
 from repro.hashspace.idspace import IdSpace
 
 SPACE = IdSpace(16)
@@ -88,3 +88,145 @@ class TestRpc:
             net.rpc(10, "rpc_ping")
         # transient: the next call succeeds
         assert net.rpc(10, "rpc_ping") is True
+
+    def test_drop_once_arms_stack(self):
+        """Repeated arming forces a drop *chain*, not a single drop."""
+        net = SimNetwork()
+        ChordNode(10, SPACE, net).create()
+        net.drop_next_rpc_to(10)
+        net.drop_next_rpc_to(10)
+        net.drop_next_rpc_to(10, count=2)
+        for _ in range(4):
+            with pytest.raises(TransientNetworkError):
+                net.rpc(10, "rpc_ping")
+        assert net.rpc(10, "rpc_ping") is True
+        assert net.drops == 4
+
+    def test_drop_count_must_be_positive(self):
+        net = SimNetwork()
+        with pytest.raises(ProtocolError):
+            net.drop_next_rpc_to(10, count=0)
+
+
+class TestStatsReset:
+    """reset_messages() must clear the whole message plane (bugfix)."""
+
+    def _loaded_network(self) -> SimNetwork:
+        net = SimNetwork()
+        ChordNode(10, SPACE, net).create()
+        net.drop_next_rpc_to(10)
+        net.rpc_retry(10, "rpc_ping")  # 1 drop, 1 retry, 2 messages
+        net.fallbacks += 1  # as ChordNode._holder_fallback does
+        assert net.fault_stats() == {"drops": 1, "retries": 1, "fallbacks": 1}
+        return net
+
+    def test_reset_messages_clears_fault_stats(self):
+        net = self._loaded_network()
+        net.reset_messages()
+        assert net.total_messages() == 0
+        # pre-fix: drops/retries/fallbacks leaked across the reset
+        assert net.fault_stats() == {"drops": 0, "retries": 0, "fallbacks": 0}
+
+    def test_reset_fault_stats_keeps_messages(self):
+        net = self._loaded_network()
+        before = net.total_messages()
+        net.reset_fault_stats()
+        assert net.total_messages() == before
+        assert net.fault_stats() == {"drops": 0, "retries": 0, "fallbacks": 0}
+
+
+class TestReusedIdFaultState:
+    """deregister()/crash() must not bequeath fault state to a reused id."""
+
+    def test_deregister_purges_link_loss(self):
+        net = SimNetwork()
+        node = ChordNode(10, SPACE, net)
+        node.create()
+        net.set_link_loss(10, 1.0)
+        net.deregister(10)
+        fresh = ChordNode(10, SPACE, net)
+        fresh.create()
+        # pre-fix: the dead node's 100% loss rate survived and every
+        # RPC to the reused id was dropped
+        assert net.rpc(10, "rpc_ping") is True
+        assert net.drops == 0
+
+    def test_deregister_purges_pending_drop(self):
+        net = SimNetwork()
+        ChordNode(10, SPACE, net).create()
+        net.drop_next_rpc_to(10)
+        net.deregister(10)
+        ChordNode(10, SPACE, net).create()
+        assert net.rpc(10, "rpc_ping") is True
+
+    def test_crashed_id_reuse_purges_fault_state(self):
+        net = SimNetwork()
+        net.crash_detection_ticks = 3
+        node = ChordNode(10, SPACE, net)
+        node.create()
+        net.set_link_loss(10, 1.0)
+        net.drop_next_rpc_to(10)
+        net.crash(10)
+        replacement = ChordNode(10, SPACE, net)
+        replacement.alive = True
+        net.register(replacement)
+        assert net.rpc(10, "rpc_ping") is True
+        assert net.drops == 0
+        # the crash-detection corpse entry must not linger either
+        net.clock += net.crash_detection_ticks + 1
+        assert net.is_alive(10)
+
+
+class TestRetryAccounting:
+    """Exact rpc_retry counts under forced drop chains (audit pin).
+
+    Invariant: with k transit drops and budget b, a delivered call
+    spends k+1 messages / k retries / k drops; an exhausted call spends
+    b+1 messages / b retries / b+1 drops.
+    """
+
+    def _net(self, budget: int) -> SimNetwork:
+        net = SimNetwork()
+        ChordNode(10, SPACE, net).create()
+        net.configure_faults(transient_retries=budget)
+        net.reset_messages()
+        return net
+
+    def test_delivered_after_chain(self):
+        net = self._net(budget=2)
+        net.drop_next_rpc_to(10, count=2)
+        assert net.rpc_retry(10, "rpc_ping") is True
+        assert net.total_messages() == 3
+        assert net.retries == 2
+        assert net.drops == 2
+
+    def test_budget_exhausted(self):
+        net = self._net(budget=2)
+        net.drop_next_rpc_to(10, count=3)
+        with pytest.raises(TransientNetworkError):
+            net.rpc_retry(10, "rpc_ping")
+        assert net.total_messages() == 3
+        assert net.retries == 2
+        assert net.drops == 3
+
+    def test_zero_budget_never_resends(self):
+        net = self._net(budget=0)
+        net.drop_next_rpc_to(10)
+        with pytest.raises(TransientNetworkError):
+            net.rpc_retry(10, "rpc_ping")
+        assert net.total_messages() == 1
+        assert net.retries == 0
+        assert net.drops == 1
+
+    def test_negative_budget_rejected(self):
+        net = SimNetwork()
+        with pytest.raises(ProtocolError):
+            net.configure_faults(transient_retries=-1)
+
+    def test_dead_endpoint_not_retried(self):
+        net = self._net(budget=2)
+        net.node(10).fail()
+        with pytest.raises(ProtocolError):
+            net.rpc_retry(10, "rpc_ping")
+        assert net.total_messages() == 1
+        assert net.retries == 0

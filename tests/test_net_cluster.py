@@ -1,0 +1,139 @@
+"""End-to-end process tests: ring boot, SIGKILL failover, teardown.
+
+These spawn real ``repro serve`` subprocesses on loopback ephemeral
+ports, so they are the slowest tests in the suite (a few seconds each).
+They exist for exactly one reason: to prove the failure paths the
+in-process tests cannot — a node dying without any goodbye.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.cluster import LocalCluster
+from repro.net.stress import StressConfig, run_stress
+from repro.net.transport import RetryPolicy, async_request
+
+POLICY = RetryPolicy(timeout=2.0, retries=1, backoff=0.05)
+
+
+async def _wait_for_known_peers(addrs, expected, *, timeout=20.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while True:
+        counts = []
+        for addr in addrs:
+            try:
+                stats = await async_request(
+                    addr, {"op": "stats"}, policy=POLICY
+                )
+                counts.append(stats["known_peers"])
+            except ProtocolError:
+                counts.append(0)
+        if all(c >= expected for c in counts):
+            return
+        if loop.time() > deadline:
+            raise AssertionError(
+                f"ring never converged: known_peers={counts}"
+            )
+        await asyncio.sleep(0.2)
+
+
+class _ListTrace:
+    def __init__(self):
+        self.records = []
+
+    def record(self, tick, kind, **fields):
+        self.records.append((tick, kind, fields))
+
+
+class TestLocalClusterValidation:
+    def test_ring_size_must_be_positive(self):
+        with pytest.raises(ProtocolError):
+            LocalCluster(0)
+
+
+class TestLocalCluster:
+    def test_ring_boots_serves_and_stops_clean(self):
+        cluster = LocalCluster(2, seed=11, maintenance_interval=0.05)
+        cluster.start()
+        try:
+            addrs = cluster.addrs()
+            assert len(addrs) == 2
+            assert all(port != 0 for _host, port in addrs)
+
+            async def roundtrip():
+                await _wait_for_known_peers(addrs, 2)
+                put = await async_request(
+                    addrs[0],
+                    {"op": "client_put", "key": 31337, "value": "live"},
+                    policy=POLICY,
+                )
+                assert "holder" in put
+                got = await async_request(
+                    addrs[1], {"op": "client_get", "key": 31337}, policy=POLICY
+                )
+                assert got["value"] == "live"
+
+            asyncio.run(roundtrip())
+        finally:
+            assert cluster.stop() is True
+
+    def test_sigkill_mid_stress_failover(self):
+        """A node dies without goodbye; the run degrades, not collapses.
+
+        The summary must report both sides of the story: successes on
+        the survivors and transient errors from the corpse, with the
+        poller seeing the dead target as unreachable.
+        """
+        cluster = LocalCluster(3, seed=23, maintenance_interval=0.05)
+        cluster.start()
+        killed = False
+        try:
+            addrs = cluster.addrs()
+
+            async def main():
+                nonlocal killed
+                await _wait_for_known_peers(addrs, 3)
+                config = StressConfig(
+                    targets=tuple(addrs),
+                    duration=4.0,
+                    concurrency=4,
+                    seed=17,
+                    prefill=2,
+                    key_pool=64,
+                    poll_interval=0.4,
+                    policy=RetryPolicy(timeout=1.0, retries=1, backoff=0.02),
+                )
+                trace = _ListTrace()
+
+                async def killer():
+                    await asyncio.sleep(1.0)
+                    await asyncio.to_thread(cluster.kill, 1)
+
+                summary, _ = await asyncio.gather(
+                    run_stress(config, trace=trace), killer()
+                )
+                killed = True
+                return summary, trace
+
+            summary, trace = asyncio.run(main())
+        finally:
+            # -SIGKILL from kill() counts as clean; survivors SIGTERM out
+            assert cluster.stop() is True
+
+        assert killed
+        assert not cluster.nodes[1].alive()
+        requests = summary["requests"]
+        # the ring kept serving: plenty of successes...
+        assert requests["success"] > 0
+        assert summary["latency_ms"]["p50"] is not None
+        # ...and the corpse shows up as transient failures in the rate
+        assert requests["errors"]["transient"] > 0
+        assert requests["error_rate"] is not None
+        assert requests["error_rate"] > 0
+        # the poller observed the dead target directly
+        polls = [f for _t, kind, f in trace.records if kind == "poll"]
+        assert polls, "poller never sampled the ring"
+        assert any(p["unreachable"] >= 1 for p in polls)

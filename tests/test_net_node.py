@@ -1,0 +1,312 @@
+"""Tests of the live node layer: directory, remote fabric, LiveNode.
+
+The LiveNode tests boot real asyncio nodes on loopback ephemeral ports
+inside ``asyncio.run`` — small rings, tight maintenance intervals, and
+polling with hard deadlines keep them fast and non-flaky.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ProtocolError, TransientNetworkError
+from repro.net.node import (
+    LiveBalancer,
+    LiveNode,
+    LiveNodeConfig,
+    PeerDirectory,
+    RemoteNetwork,
+)
+from repro.net.transport import RetryPolicy, async_request
+
+POLICY = RetryPolicy(timeout=2.0, retries=1, backoff=0.01)
+
+FAST = dict(maintenance_interval=0.03, heartbeat_interval=0.2)
+
+
+class TestPeerDirectory:
+    def test_add_get_snapshot(self):
+        directory = PeerDirectory()
+        directory.add(5, ("127.0.0.1", 9000))
+        assert directory.get(5) == ("127.0.0.1", 9000)
+        assert directory.snapshot() == {5: ["127.0.0.1", 9000]}
+        assert directory.ids() == [5]
+
+    def test_unknown_id_is_transport_failure(self):
+        with pytest.raises(ProtocolError) as info:
+            PeerDirectory().get(42)
+        assert info.value.transport_failure is True
+
+    def test_merge_does_not_overwrite(self):
+        directory = PeerDirectory()
+        directory.add(5, ("127.0.0.1", 9000))
+        directory.merge({5: ["10.0.0.9", 1], 6: ["127.0.0.1", 9001]})
+        assert directory.get(5) == ("127.0.0.1", 9000)
+        assert directory.get(6) == ("127.0.0.1", 9001)
+
+    def test_tombstone_blocks_resurrection_by_merge(self):
+        """A retired identity must not flap back in via stale gossip."""
+        directory = PeerDirectory()
+        directory.add(5, ("127.0.0.1", 9000))
+        directory.remove(5)
+        directory.merge({5: ["127.0.0.1", 9000]})
+        assert not directory.knows(5)
+        # an explicit re-add (genuine re-registration) clears the stone
+        directory.add(5, ("127.0.0.1", 9002))
+        assert directory.get(5) == ("127.0.0.1", 9002)
+
+
+class TestRemoteNetworkLocal:
+    """The SimNetwork-facade behaviours that need no sockets."""
+
+    def _net(self):
+        directory = PeerDirectory()
+        return RemoteNetwork(directory, ("127.0.0.1", 1), policy=POLICY)
+
+    def test_unknown_target_is_transport_failure(self):
+        net = self._net()
+        with pytest.raises(ProtocolError) as info:
+            net.rpc(99, "rpc_ping")
+        assert info.value.transport_failure is True
+        assert net.messages["rpc_ping"] == 1  # the send was attempted
+
+    def test_local_dispatch_counts_messages(self):
+        from repro.chord.node import ChordNode
+        from repro.hashspace.idspace import IdSpace
+
+        net = self._net()
+        node = ChordNode(10, IdSpace(16), net)
+        node.create()
+        assert net.rpc(10, "rpc_ping") is True
+        assert net.messages["rpc_ping"] == 1
+        assert net.is_alive(10)
+        assert net.directory.knows(10)
+
+    def test_dispatch_rejects_non_rpc_methods(self):
+        from repro.chord.node import ChordNode
+        from repro.hashspace.idspace import IdSpace
+
+        net = self._net()
+        ChordNode(10, IdSpace(16), net).create()
+        with pytest.raises(ProtocolError):
+            net.dispatch(10, "fail", [], {})  # would kill the node
+
+    def test_deregister_tombstones_directory(self):
+        from repro.chord.node import ChordNode
+        from repro.hashspace.idspace import IdSpace
+
+        net = self._net()
+        ChordNode(10, IdSpace(16), net).create()
+        net.deregister(10)
+        assert not net.is_alive(10)
+        net.directory.merge({10: ["127.0.0.1", 1]})
+        assert not net.is_alive(10)
+
+
+class TestLiveBalancerValidation:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ProtocolError):
+            LiveBalancer(object(), "smart_neighbor_injection")
+
+
+async def _wait_until(predicate, *, timeout=10.0, interval=0.05):
+    """Poll an async predicate until truthy (hard deadline)."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while True:
+        value = await predicate()
+        if value:
+            return value
+        if loop.time() > deadline:
+            raise AssertionError("condition not reached before deadline")
+        await asyncio.sleep(interval)
+
+
+async def _boot_ring(n, **config_kwargs):
+    nodes = []
+    first = LiveNode(
+        "127.0.0.1", 0, LiveNodeConfig(seed=100, **FAST, **config_kwargs)
+    )
+    await first.start()
+    nodes.append(first)
+    for i in range(1, n):
+        node = LiveNode(
+            "127.0.0.1",
+            0,
+            LiveNodeConfig(seed=100 + i, **FAST, **config_kwargs),
+        )
+        await node.start(bootstrap=first.addr)
+        nodes.append(node)
+    return nodes
+
+
+async def _stop_all(nodes):
+    for node in reversed(nodes):
+        await node.stop()
+
+
+class TestLiveRing:
+    def test_three_node_ring_put_get(self):
+        async def main():
+            nodes = await _boot_ring(3)
+            try:
+                ids = sorted(n.main.id for n in nodes)
+
+                async def ring_converged():
+                    # every node's successor pointer lands on the next
+                    # ring id — the standard Chord convergence criterion
+                    for node in nodes:
+                        succ = node.main.successor_list[0]
+                        expected = ids[
+                            (ids.index(node.main.id) + 1) % len(ids)
+                        ]
+                        if succ != expected:
+                            return False
+                    return True
+
+                await _wait_until(ring_converged)
+
+                # store through one node, fetch through another
+                put = await async_request(
+                    nodes[0].addr,
+                    {"op": "client_put", "key": 777, "value": "v"},
+                    policy=POLICY,
+                )
+                assert put["holder"] in ids
+                got = await async_request(
+                    nodes[2].addr,
+                    {"op": "client_get", "key": 777},
+                    policy=POLICY,
+                )
+                assert got["value"] == "v"
+
+                stats = await async_request(
+                    nodes[1].addr, {"op": "stats"}, policy=POLICY
+                )
+                assert stats["known_peers"] == 3
+                assert set(stats["fault_stats"]) == {
+                    "drops", "retries", "fallbacks",
+                }
+            finally:
+                await _stop_all(nodes)
+
+        asyncio.run(main())
+
+    def test_graceful_leave_hands_off_data(self):
+        async def main():
+            nodes = await _boot_ring(2)
+            try:
+                await _wait_until(
+                    lambda: asyncio.sleep(
+                        0, nodes[1].main.successor_list[0] == nodes[0].main.id
+                    )
+                )
+                put = await async_request(
+                    nodes[0].addr,
+                    {"op": "client_put", "key": 4242, "value": "kept"},
+                    policy=POLICY,
+                )
+                assert put["holder"] in (nodes[0].main.id, nodes[1].main.id)
+                # stop (graceful leave) whichever node holds the key
+                holder = next(
+                    n for n in nodes if n.main.id == put["holder"]
+                )
+                survivor = next(n for n in nodes if n is not holder)
+                await holder.stop()
+                got = await async_request(
+                    survivor.addr,
+                    {"op": "client_get", "key": 4242},
+                    policy=POLICY,
+                )
+                assert got["value"] == "kept"
+                await survivor.stop()
+            except BaseException:
+                await _stop_all([n for n in nodes if n._server is not None])
+                raise
+
+        asyncio.run(main())
+
+    def test_random_injection_spawns_sybils(self):
+        async def main():
+            nodes = await _boot_ring(
+                2,
+                strategy="random_injection",
+                sybil_threshold=0,
+                max_sybils=2,
+                decision_interval=2,
+            )
+            try:
+                async def some_sybil():
+                    stats = await async_request(
+                        nodes[0].addr, {"op": "stats"}, policy=POLICY
+                    )
+                    return stats["n_sybils"] >= 1
+
+                await _wait_until(some_sybil)
+                stats = await async_request(
+                    nodes[0].addr, {"op": "stats"}, policy=POLICY
+                )
+                sybil_idents = [
+                    v for v in stats["identities"].values() if v["sybil"]
+                ]
+                assert sybil_idents
+                assert stats["metrics"]["counters"].get(
+                    "net.sybils_created", 0
+                ) >= 1
+            finally:
+                await _stop_all(nodes)
+
+        asyncio.run(main())
+
+    def test_unknown_op_is_app_error(self):
+        async def main():
+            nodes = await _boot_ring(1)
+            try:
+                with pytest.raises(ProtocolError) as info:
+                    await async_request(
+                        nodes[0].addr, {"op": "nonsense"}, policy=POLICY
+                    )
+                assert not isinstance(info.value, TransientNetworkError)
+                assert not getattr(info.value, "transport_failure", False)
+            finally:
+                await _stop_all(nodes)
+
+        asyncio.run(main())
+
+    def test_rpc_to_unhosted_id_is_transport_error(self):
+        async def main():
+            nodes = await _boot_ring(1)
+            try:
+                with pytest.raises(ProtocolError) as info:
+                    await async_request(
+                        nodes[0].addr,
+                        {
+                            "op": "rpc",
+                            "to": 123456789,
+                            "method": "rpc_ping",
+                            "args": [],
+                            "kwargs": {},
+                        },
+                        policy=POLICY,
+                    )
+                assert info.value.transport_failure is True
+            finally:
+                await _stop_all(nodes)
+
+        asyncio.run(main())
+
+    def test_sha1_identity_when_unspecified(self):
+        from repro.hashspace.hashing import sha1_id
+
+        async def main():
+            node = LiveNode("127.0.0.1", 0, LiveNodeConfig(seed=3, **FAST))
+            await node.start()
+            try:
+                expected = sha1_id(
+                    f"{node.addr[0]}:{node.addr[1]}", node.space
+                )
+                assert node.main.id == expected
+            finally:
+                await node.stop()
+
+        asyncio.run(main())

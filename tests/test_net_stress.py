@@ -1,0 +1,187 @@
+"""Tests of the stress generator: pure summary arithmetic + a live run.
+
+``summarize`` is pure, so the schema, convergence detection, and error
+accounting are pinned with hand-built outcomes.  One short end-to-end
+run against in-process LiveNodes checks the full async path.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.node import LiveNode, LiveNodeConfig
+from repro.net.stress import (
+    SUMMARY_SCHEMA,
+    StressConfig,
+    StressOutcome,
+    run_stress,
+    summarize,
+)
+from repro.net.transport import RetryPolicy
+from repro.obs.metrics import MetricsRegistry
+
+TARGET = ("127.0.0.1", 9999)
+
+
+def _req(ok=True, kind=None, latency=0.01, op="get", hops=1):
+    return {"op": op, "ok": ok, "kind": kind, "latency": latency, "hops": hops}
+
+
+class TestStressConfigValidation:
+    def test_needs_targets(self):
+        with pytest.raises(ProtocolError):
+            StressConfig(targets=())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration": 0},
+            {"concurrency": 0},
+            {"get_fraction": 1.5},
+            {"key_pool": 0},
+            {"imbalance_threshold": 0.5},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ProtocolError):
+            StressConfig(targets=(TARGET,), **kwargs)
+
+
+class TestSummarize:
+    def _config(self, **kwargs):
+        return StressConfig(targets=(TARGET,), seed=7, **kwargs)
+
+    def test_schema_and_counts(self):
+        outcome = StressOutcome(
+            requests=[
+                _req(latency=0.010),
+                _req(latency=0.020),
+                _req(ok=False, kind="transient"),
+                _req(ok=False, kind="app"),
+            ],
+            polls=[],
+            elapsed=2.0,
+        )
+        summary = summarize(outcome, self._config())
+        assert summary["schema"] == SUMMARY_SCHEMA
+        assert summary["seed"] == 7
+        assert summary["requests"] == {
+            "total": 4,
+            "success": 2,
+            "errors": {"app": 1, "transient": 1, "transport": 0},
+            "error_rate": 0.5,
+        }
+        assert summary["throughput_rps"] == 1.0
+        assert summary["latency_ms"]["p50"] == 15.0
+        assert summary["latency_ms"]["max"] == 20.0
+
+    def test_empty_run(self):
+        summary = summarize(StressOutcome(), self._config(duration=3.0))
+        assert summary["requests"]["total"] == 0
+        assert summary["requests"]["error_rate"] is None
+        assert summary["latency_ms"]["p50"] is None
+        assert summary["duration_s"] == 3.0
+        assert summary["rebalance"]["converged"] is False
+        assert summary["rebalance"]["seconds"] is None
+
+    def test_convergence_is_first_balanced_poll(self):
+        outcome = StressOutcome(
+            requests=[_req()],
+            polls=[
+                {"elapsed": 0.5, "loads": [], "unreachable": 0},
+                {"elapsed": 1.0, "loads": [9, 1, 1, 1], "unreachable": 0},
+                {"elapsed": 1.5, "loads": [4, 3, 3, 2], "unreachable": 0},
+                {"elapsed": 2.0, "loads": [3, 3, 3, 3], "unreachable": 0},
+            ],
+            elapsed=2.5,
+        )
+        summary = summarize(
+            outcome, self._config(imbalance_threshold=1.5)
+        )
+        rebalance = summary["rebalance"]
+        assert rebalance["samples"] == 4
+        assert rebalance["converged"] is True
+        # imbalance at 1.5s is 4/3 <= 1.5; the 1.0s poll was 3.0
+        assert rebalance["seconds"] == 1.5
+        assert rebalance["final_imbalance"] == 1.0
+
+    def test_zero_load_polls_never_converge(self):
+        outcome = StressOutcome(
+            requests=[_req()],
+            polls=[{"elapsed": 1.0, "loads": [0, 0], "unreachable": 0}],
+            elapsed=1.5,
+        )
+        rebalance = summarize(outcome, self._config())["rebalance"]
+        assert rebalance["converged"] is False
+        assert rebalance["final_imbalance"] is None
+
+    def test_summary_is_deterministic(self):
+        outcome = StressOutcome(
+            requests=[_req(), _req(ok=False, kind="transport")],
+            polls=[{"elapsed": 1.0, "loads": [2, 2], "unreachable": 1}],
+            elapsed=2.0,
+        )
+        config = self._config()
+        assert summarize(outcome, config) == summarize(outcome, config)
+
+
+class _ListTrace:
+    def __init__(self):
+        self.records = []
+
+    def record(self, tick, kind, **fields):
+        self.records.append((tick, kind, fields))
+
+
+class TestLiveStress:
+    def test_short_run_against_live_ring(self):
+        async def main():
+            first = LiveNode(
+                "127.0.0.1",
+                0,
+                LiveNodeConfig(seed=50, maintenance_interval=0.03),
+            )
+            await first.start()
+            second = LiveNode(
+                "127.0.0.1",
+                0,
+                LiveNodeConfig(seed=51, maintenance_interval=0.03),
+            )
+            await second.start(bootstrap=first.addr)
+            try:
+                # let the pair stabilize before offering load
+                for _ in range(200):
+                    if second.main.successor_list[0] == first.main.id:
+                        break
+                    await asyncio.sleep(0.05)
+                config = StressConfig(
+                    targets=(first.addr, second.addr),
+                    duration=1.0,
+                    concurrency=4,
+                    seed=9,
+                    prefill=2,
+                    key_pool=32,
+                    poll_interval=0.2,
+                    policy=RetryPolicy(timeout=2.0, retries=1),
+                )
+                metrics = MetricsRegistry()
+                trace = _ListTrace()
+                summary = await run_stress(
+                    config, metrics=metrics, trace=trace
+                )
+            finally:
+                await second.stop()
+                await first.stop()
+
+            assert summary["schema"] == SUMMARY_SCHEMA
+            assert summary["requests"]["success"] > 0
+            assert summary["requests"]["error_rate"] is not None
+            assert summary["latency_ms"]["p50"] is not None
+            assert summary["rebalance"]["samples"] >= 1
+            assert metrics.as_dict()["counters"].get("stress.success", 0) > 0
+            kinds = {kind for _tick, kind, _f in trace.records}
+            assert "request" in kinds and "summary" in kinds
+            return summary
+
+        asyncio.run(main())
