@@ -10,7 +10,7 @@ BENCH_TICK_CURRENT  := benchmarks/.bench_tick_current.json
 
 .PHONY: test lint typecheck bench bench-baseline bench-check \
 	bench-tick bench-tick-baseline bench-tick-check \
-	sweep-resume-check obs-smoke net-smoke check figures
+	sweep-resume-check obs-smoke net-smoke adv-smoke check figures
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -73,10 +73,17 @@ obs-smoke:
 net-smoke:
 	$(PYTHON) scripts/net_smoke.py
 
+# seeded adversarial-plane invariants: default-off bit identity,
+# eclipse capture + clean detection, free-rider stranding, and the
+# `repro simulate --adv-*` surface (see scripts/adv_smoke.py and
+# docs/adversarial.md)
+adv-smoke:
+	$(PYTHON) scripts/adv_smoke.py
+
 # the full tier-1 gate: static analysis, unit/property tests, perf
-# regression, resume, observability, live serving
+# regression, resume, observability, live serving, adversary plane
 check: lint typecheck test bench-check bench-tick-check \
-	sweep-resume-check obs-smoke net-smoke
+	sweep-resume-check obs-smoke net-smoke adv-smoke
 
 figures:
 	$(PYTHON) -m repro.cli figures --out figures/

@@ -1,0 +1,133 @@
+"""Adversarial-plane smoke check (CI gate, also `make adv-smoke`).
+
+Runs a handful of small seeded simulations and requires the adversarial
+Sybil plane's headline invariants (see docs/adversarial.md):
+
+1. **default-off bit identity** — a run with an explicit default
+   ``AdversaryModel()`` is bit-identical to one with no model at all;
+2. **eclipse capture** — an undefended eclipse attack joins its full
+   coordinated arc and captures a non-zero key fraction;
+3. **detection** — per-arc density detection evicts a dense eclipse
+   with precision and recall 1.0 and the run still completes;
+4. **free-rider stranding** — rate-0 free-riders strand tasks and force
+   a ``max_ticks`` truncation when no churn can recapture the keys,
+   and the join-cost budget provably does *not* stop them;
+5. the ``repro simulate --adv-*`` CLI surface reports the attack.
+
+Exits non-zero with a message on the first violated property.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.config import AdversaryModel, SimulationConfig  # noqa: E402
+from repro.obs import result_fingerprint  # noqa: E402
+from repro.sim.engine import TickEngine  # noqa: E402
+
+BASE = dict(
+    strategy="invitation",
+    n_nodes=60,
+    n_tasks=3000,
+    churn_rate=0.02,
+    max_sybils=5,
+    seed=11,
+)
+
+
+def fail(msg: str) -> None:
+    print(f"adv-smoke: FAIL — {msg}")
+    sys.exit(1)
+
+
+def run(adversary=None, **overrides):
+    kwargs = {**BASE, **overrides}
+    if adversary is not None:
+        kwargs["adversary"] = adversary
+    return TickEngine(SimulationConfig(**kwargs)).run()
+
+
+def main() -> None:
+    # 1. default-off bit identity
+    plain = run()
+    defaulted = run(adversary=AdversaryModel())
+    if result_fingerprint(plain) != result_fingerprint(defaulted):
+        fail("default AdversaryModel perturbed a seeded run")
+    if defaulted.adversary is not None:
+        fail("default AdversaryModel produced an adversary block")
+
+    # 2. undefended eclipse captures keys
+    eclipse = AdversaryModel(
+        eclipse_sybils=12, eclipse_arc_fraction=0.01, attack_tick=5
+    )
+    attacked = run(adversary=eclipse, max_ticks=1500)
+    adv = attacked.adversary
+    if adv["slots_joined"] != 12:
+        fail(f"eclipse joined {adv['slots_joined']}/12 slots")
+    if not adv["captured_fraction_peak"] > 0:
+        fail("eclipse captured nothing")
+
+    # 3. density detection evicts the attacker cleanly
+    defended = run(
+        adversary=AdversaryModel(
+            eclipse_sybils=12,
+            eclipse_arc_fraction=0.01,
+            attack_tick=5,
+            detection_interval=10,
+        ),
+        max_ticks=1500,
+    )
+    adv = defended.adversary
+    if adv["detection_precision"] != 1.0 or adv["detection_recall"] != 1.0:
+        fail(
+            "detection imperfect: precision="
+            f"{adv['detection_precision']} recall={adv['detection_recall']}"
+        )
+    if not defended.completed:
+        fail("detected-and-evicted run failed to complete")
+
+    # 4. free-riders strand work, and the join budget does not stop them
+    for defense in (
+        AdversaryModel(free_riders=3, attack_tick=2),
+        AdversaryModel(free_riders=3, attack_tick=2, join_cost=3),
+    ):
+        stranded = run(adversary=defense, churn_rate=0.0, max_ticks=120)
+        if stranded.termination_reason != "max_ticks":
+            fail(
+                "free-rider run ended with "
+                f"{stranded.termination_reason!r}, expected truncation"
+            )
+        if not stranded.adversary["stranded_tasks"] > 0:
+            fail("free-riders stranded nothing")
+
+    # 5. the CLI surface reports the attack
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "simulate",
+            "--strategy", "invitation", "--nodes", "60", "--tasks", "3000",
+            "--churn", "0.02", "--seed", "11", "--trials", "1",
+            "--adv-eclipse-sybils", "12", "--adv-eclipse-arc", "0.01",
+            "--adv-attack-tick", "5", "--adv-detection-interval", "10",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+    )
+    if proc.returncode != 0:
+        fail(f"repro simulate --adv-* exited {proc.returncode}:\n{proc.stderr}")
+    if "adv captured fraction" not in proc.stdout:
+        fail("CLI output missing adversary metrics:\n" + proc.stdout)
+
+    print("adv-smoke: OK — default-off identity, eclipse capture, "
+          "clean detection, free-rider stranding, CLI surface")
+
+
+if __name__ == "__main__":
+    main()

@@ -133,6 +133,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--crash-detection-ticks", type=int, default=0,
         help="ticks a crashed node still looks alive (chord layer)",
     )
+    sim_p.add_argument(
+        "--adv-eclipse-sybils", type=int, default=0,
+        help="coordinated Sybil identities concentrated in a victim arc",
+    )
+    sim_p.add_argument(
+        "--adv-eclipse-arc", type=float, default=0.05,
+        help="ring fraction the eclipse identities squeeze into",
+    )
+    sim_p.add_argument(
+        "--adv-free-riders", type=int, default=0,
+        help="adversarial joiners that accept keys and consume nothing",
+    )
+    sim_p.add_argument(
+        "--adv-churn-amplification", type=float, default=0.0,
+        help="per-round probability of crashing the heaviest honest owner",
+    )
+    sim_p.add_argument(
+        "--adv-attack-tick", type=int, default=1,
+        help="tick at which the planned attack identities start joining",
+    )
+    sim_p.add_argument(
+        "--adv-join-cost", type=int, default=0,
+        help="defense: identity-creation cost against a per-node budget "
+        "(0 = defense off)",
+    )
+    sim_p.add_argument(
+        "--adv-detection-interval", type=int, default=0,
+        help="defense: ticks between per-arc Sybil-density sweeps "
+        "(0 = defense off)",
+    )
+    sim_p.add_argument(
+        "--adv-density-threshold", type=int, default=4,
+        help="slots one owner may hold in a single detection arc",
+    )
     sim_p.add_argument("--seed", type=int, default=0)
     sim_p.add_argument("--trials", type=int, default=1)
     sim_p.add_argument("--jobs", type=int, default=1)
@@ -428,7 +462,7 @@ def _parse_replication(value: str) -> int | None:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.config import FailureModel
+    from repro.config import AdversaryModel, FailureModel
     from repro.sim.trials import make_trial_fn, run_trials
     from repro.util.tables import format_kv
 
@@ -447,6 +481,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             replication_factor=_parse_replication(args.replication),
             message_loss_rate=args.loss_rate,
             crash_detection_ticks=args.crash_detection_ticks,
+        ),
+        adversary=AdversaryModel(
+            eclipse_sybils=args.adv_eclipse_sybils,
+            eclipse_arc_fraction=args.adv_eclipse_arc,
+            free_riders=args.adv_free_riders,
+            churn_amplification=args.adv_churn_amplification,
+            attack_tick=args.adv_attack_tick,
+            join_cost=args.adv_join_cost,
+            detection_interval=args.adv_detection_interval,
+            density_threshold=args.adv_density_threshold,
         ),
         seed=args.seed,
     )
@@ -476,6 +520,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         payload["mean completed-work factor"] = (
             trials.mean_completed_work_factor
         )
+    if config.adversary.enabled:
+        advs = [r.adversary for r in trials.results if r.adversary]
+        if advs:
+            def _adv_mean(key: str) -> float | None:
+                vals = [a[key] for a in advs if a[key] is not None]
+                return sum(vals) / len(vals) if vals else None
+
+            payload["adv captured fraction (peak)"] = _adv_mean(
+                "captured_fraction_peak"
+            )
+            payload["adv stranded tasks"] = _adv_mean("stranded_tasks")
+            prec = _adv_mean("detection_precision")
+            rec = _adv_mean("detection_recall")
+            if prec is not None:
+                payload["adv detection precision"] = prec
+            if rec is not None:
+                payload["adv detection recall"] = rec
     if trials.n_truncated:
         payload["trials truncated"] = trials.n_truncated
     if trials.n_data_loss:

@@ -34,7 +34,12 @@ from typing import Any, Literal
 
 from repro.errors import ConfigError
 
-__all__ = ["FailureModel", "SimulationConfig", "STRATEGY_NAMES"]
+__all__ = [
+    "AdversaryModel",
+    "FailureModel",
+    "SimulationConfig",
+    "STRATEGY_NAMES",
+]
 
 #: Strategy registry keys understood by :func:`repro.core.make_strategy`.
 STRATEGY_NAMES = (
@@ -123,6 +128,121 @@ class FailureModel:
 
 
 @dataclass(frozen=True)
+class AdversaryModel:
+    """Adversarial-Sybil knobs, default-off (attack/defense plane).
+
+    The paper's Sybils are benevolent; this group injects *hostile*
+    ones so the balancing strategies can be stress-tested against the
+    canonical DHT attacks (see docs/adversarial.md):
+
+    ``eclipse_sybils``
+        Number of coordinated Sybil slots one attacker concentrates in
+        a victim arc at ``attack_tick`` to capture that arc's keys.
+    ``eclipse_arc_fraction``
+        Width of the eclipsed arc as a fraction of the id space.
+    ``free_riders``
+        Number of adversarial owners that join the ring, accept keys,
+        and consume at rate 0 (tasks parked on them never finish).
+    ``churn_amplification``
+        Per-decision-round probability of a targeted crash against the
+        heaviest honest in-network owner.
+    ``attack_tick``
+        Tick at which eclipse/free-rider injection happens.
+    ``join_cost``
+        SybilControl-style defense: joining/creating any Sybil slot
+        costs this much budget, drawn from a per-owner account that
+        starts full.  ``0`` disables the defense.
+    ``join_budget_refill``
+        Budget units refilled per tick (capped at ``join_cost``).
+    ``detection_interval``
+        Defense cadence: every this many ticks, per-arc Sybil-density
+        detection runs and evicts flagged owners.  ``0`` disables it.
+    ``density_threshold``
+        Slots one owner must hold inside a single detection arc to be
+        flagged (eclipse signature).
+
+    All defaults are inert: a default ``AdversaryModel`` changes
+    neither RNG consumption nor results, so seeded runs stay
+    bit-identical (pinned in tests/test_adversary.py).
+    """
+
+    eclipse_sybils: int = 0
+    eclipse_arc_fraction: float = 0.05
+    free_riders: int = 0
+    churn_amplification: float = 0.0
+    attack_tick: int = 1
+    join_cost: int = 0
+    join_budget_refill: int = 1
+    detection_interval: int = 0
+    density_threshold: int = 4
+
+    def __post_init__(self) -> None:
+        if self.eclipse_sybils < 0:
+            raise ConfigError(
+                f"eclipse_sybils must be >= 0, got {self.eclipse_sybils}"
+            )
+        if not 0.0 < self.eclipse_arc_fraction <= 0.5:
+            raise ConfigError(
+                f"eclipse_arc_fraction must be in (0, 0.5], "
+                f"got {self.eclipse_arc_fraction}"
+            )
+        if self.free_riders < 0:
+            raise ConfigError(
+                f"free_riders must be >= 0, got {self.free_riders}"
+            )
+        if not 0.0 <= self.churn_amplification <= 1.0:
+            raise ConfigError(
+                f"churn_amplification must be in [0, 1], "
+                f"got {self.churn_amplification}"
+            )
+        if self.attack_tick < 1:
+            raise ConfigError(
+                f"attack_tick must be >= 1, got {self.attack_tick}"
+            )
+        if self.join_cost < 0:
+            raise ConfigError(
+                f"join_cost must be >= 0, got {self.join_cost}"
+            )
+        if self.join_budget_refill < 1:
+            raise ConfigError(
+                f"join_budget_refill must be >= 1, "
+                f"got {self.join_budget_refill}"
+            )
+        if self.detection_interval < 0:
+            raise ConfigError(
+                f"detection_interval must be >= 0, "
+                f"got {self.detection_interval}"
+            )
+        if self.density_threshold < 2:
+            raise ConfigError(
+                f"density_threshold must be >= 2, "
+                f"got {self.density_threshold}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any attack or defense departs from the paper's model."""
+        return (
+            self.eclipse_sybils > 0
+            or self.free_riders > 0
+            or self.churn_amplification > 0.0
+            or self.join_cost > 0
+            or self.detection_interval > 0
+        )
+
+    @property
+    def n_adversaries(self) -> int:
+        """Adversarial owner slots to preallocate in the registry."""
+        n = self.free_riders
+        if self.eclipse_sybils > 0:
+            n += 1  # the eclipse attacker is one coordinated owner
+        return n
+
+    def as_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Full parameterization of one simulated computation.
 
@@ -157,6 +277,9 @@ class SimulationConfig:
     # -- failure injection (default-off; see FailureModel) ----------------
     failures: FailureModel = field(default_factory=FailureModel)
 
+    # -- adversarial Sybils (default-off; see AdversaryModel) -------------
+    adversary: AdversaryModel = field(default_factory=AdversaryModel)
+
     # -- machinery --------------------------------------------------------
     seed: int | None = 0
     bits: int = 64
@@ -172,6 +295,16 @@ class SimulationConfig:
             raise ConfigError(
                 f"failures must be a FailureModel or dict, "
                 f"got {type(self.failures).__name__}"
+            )
+        if isinstance(self.adversary, dict):
+            # persistence round-trip: SimulationConfig(**as_dict())
+            object.__setattr__(
+                self, "adversary", AdversaryModel(**self.adversary)
+            )
+        elif not isinstance(self.adversary, AdversaryModel):
+            raise ConfigError(
+                f"adversary must be an AdversaryModel or dict, "
+                f"got {type(self.adversary).__name__}"
             )
         if self.strategy not in STRATEGY_NAMES:
             raise ConfigError(
@@ -270,4 +403,5 @@ class SimulationConfig:
         """Plain-dict form (for CSV/JSON export and result provenance)."""
         data = {f.name: getattr(self, f.name) for f in fields(self)}
         data["failures"] = self.failures.as_dict()
+        data["adversary"] = self.adversary.as_dict()
         return data

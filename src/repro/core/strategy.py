@@ -103,6 +103,14 @@ class NetworkView(abc.ABC):
     @abc.abstractmethod
     def can_add_sybil(self, owner: int) -> bool: ...
 
+    def join_budget_remaining(self, owner: int) -> int | None:
+        """Remaining SybilControl-style join budget, or None when the
+        join-cost defense is off.  Non-abstract: backends without the
+        defense (the protocol Chord adapter) inherit the None default;
+        the tick simulator overrides it (see AdversaryModel.join_cost).
+        """
+        return None
+
     # -- topology (local only) -------------------------------------------
     @abc.abstractmethod
     def main_slot(self, owner: int) -> int: ...

@@ -13,6 +13,7 @@ from repro.errors import ExperimentError
 from repro.sim.trials import reset_run_stats, run_stats
 from repro.experiments import (
     ablations,
+    ext_adversarial,
     ext_arrivals,
     ext_failures,
     ext_future_work,
@@ -58,6 +59,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "ext_failures": (
         "Extension: crash-stop failures and replication",
         ext_failures.run,
+    ),
+    "ext_adversarial": (
+        "Extension: hostile-Sybil attacks and defenses",
+        ext_adversarial.run,
     ),
 }
 

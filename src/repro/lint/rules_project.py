@@ -45,8 +45,9 @@ def _dataclass_fields(tree: ast.Module, class_name: str) -> dict[str, int]:
 class ConfigDrift(ProjectRule):
     """R005: every config knob must be read somewhere outside config.py.
 
-    Collects the annotated fields of ``SimulationConfig`` and
-    ``FailureModel`` from ``config.py``, then scans every other
+    Collects the annotated fields of ``SimulationConfig``,
+    ``FailureModel`` and ``AdversaryModel`` from ``config.py``, then
+    scans every other
     collected file for an attribute read of that name (``cfg.n_nodes``,
     ``self.churn_rate``, ...).  A field nobody reads is a dead knob:
     either it silently stopped doing anything (a refactor dropped the
@@ -59,9 +60,12 @@ class ConfigDrift(ProjectRule):
 
     rule_id = "R005"
     name = "config-drift"
-    summary = "every SimulationConfig/FailureModel field is read somewhere"
+    summary = (
+        "every SimulationConfig/FailureModel/AdversaryModel field is "
+        "read somewhere"
+    )
 
-    CONFIG_CLASSES = ("SimulationConfig", "FailureModel")
+    CONFIG_CLASSES = ("SimulationConfig", "FailureModel", "AdversaryModel")
 
     def check_project(
         self, ctxs: list[FileContext]
@@ -119,6 +123,23 @@ KNOWN_RESULT_SCHEMAS: dict[str, frozenset[str]] = {
             "termination_reason",
             "total_injected",
             "n_survivors",
+        }
+    ),
+    "repro.simulation_result.v3": frozenset(
+        {
+            "config",
+            "runtime_ticks",
+            "ideal_ticks",
+            "completed",
+            "total_consumed",
+            "snapshots",
+            "timeseries",
+            "counters",
+            "final_loads",
+            "termination_reason",
+            "total_injected",
+            "n_survivors",
+            "adversary",
         }
     ),
 }

@@ -80,19 +80,60 @@ class PeerDirectory:
     map to the same address.  :meth:`remove` tombstones the id so that
     later gossip merges from peers with a stale view cannot re-add it —
     Sybil retirement would otherwise flap forever.
+
+    Tombstones are bounded: each carries the logical operation count at
+    which it was written, and on every mutation the set is pruned to
+    ``max_tombstones`` entries no older than ``tombstone_ttl_ops``
+    operations.  Unbounded growth would otherwise leak on long-lived
+    nodes (every Sybil ever retired, forever); the bounds are generous
+    enough that a stale gossip snapshot has long stopped circulating by
+    the time its tombstone ages out.  Ages are counted in directory
+    operations, not wall-clock, so behaviour stays deterministic.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        max_tombstones: int = 1024,
+        tombstone_ttl_ops: int = 100_000,
+    ) -> None:
         self._addrs: dict[int, Address] = {}
-        self._tombstones: set[int] = set()
+        #: id → logical op count at tombstoning time
+        self._tombstones: dict[int, int] = {}
+        self._ops = 0
+        self.max_tombstones = max_tombstones
+        self.tombstone_ttl_ops = tombstone_ttl_ops
+
+    def _prune(self) -> None:
+        """Enforce the age and size bounds (runs after every mutation)."""
+        if not self._tombstones:
+            return
+        horizon = self._ops - self.tombstone_ttl_ops
+        if horizon > 0:
+            self._tombstones = {
+                i: born
+                for i, born in self._tombstones.items()
+                if born > horizon
+            }
+        overflow = len(self._tombstones) - self.max_tombstones
+        if overflow > 0:
+            # evict the oldest; dict preserves insertion order and
+            # stones are only ever appended, so the first entries are
+            # the oldest
+            for ident in list(self._tombstones)[:overflow]:
+                del self._tombstones[ident]
 
     def add(self, node_id: int, addr: Address) -> None:
-        self._tombstones.discard(node_id)
+        self._ops += 1
+        self._tombstones.pop(node_id, None)
         self._addrs[node_id] = (addr[0], int(addr[1]))
+        self._prune()
 
     def remove(self, node_id: int) -> None:
+        self._ops += 1
         if self._addrs.pop(node_id, None) is not None:
-            self._tombstones.add(node_id)
+            self._tombstones[node_id] = self._ops
+        self._prune()
 
     def get(self, node_id: int) -> Address:
         try:
@@ -117,12 +158,14 @@ class PeerDirectory:
 
     def merge(self, snapshot: dict[int, Any]) -> None:
         """Adopt a peer's snapshot (tombstoned ids stay dead)."""
+        self._ops += 1
         for node_id, addr in snapshot.items():
             ident = int(node_id)
             if ident in self._tombstones:
                 continue
             host, port = addr
             self._addrs.setdefault(ident, (str(host), int(port)))
+        self._prune()
 
 
 class RemoteNetwork:

@@ -59,7 +59,8 @@ __all__ = [
 #: Bump when a code change makes identical configs produce different
 #: results (see module docstring); this invalidates every cached trial.
 #: 2: failure-model fields joined the config and the result payload.
-CACHE_SCHEMA_VERSION = 2
+#: 3: adversary model joined the config and the result payload.
+CACHE_SCHEMA_VERSION = 3
 
 
 def default_cache_dir() -> Path:

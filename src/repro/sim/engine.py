@@ -48,6 +48,7 @@ from repro.metrics.timeseries import TickSeries
 from repro.config import SimulationConfig
 from repro.obs.profile import NULL_PROFILER, Profiler
 from repro.obs.trace import TraceSink
+from repro.sim.adversary import AdversaryPlane
 from repro.sim.kernels import fast_kernel, grouped_kernel, resolve_backend
 from repro.sim.owners import OwnerRegistry
 from repro.sim.results import SimulationResult
@@ -139,6 +140,12 @@ class TickEngine:
             self.counters["crashes"] = 0
             self.counters["tasks_lost"] = 0
             self.counters["recovered_from_backup"] = 0
+        # the adversary plane exists only when the model is on: disabled
+        # runs skip the phase entirely (no RNG draws, no allocations, no
+        # extra counters) and stay bit-identical to pre-feature seeds
+        self._adversary = (
+            AdversaryPlane(self) if config.adversary.enabled else None
+        )
         self.timeseries = TickSeries() if config.collect_timeseries else None
         self._snapshot_loads: dict[int, np.ndarray] = {}
         if 0 in config.snapshot_ticks:
@@ -197,6 +204,8 @@ class TickEngine:
             self._apply_churn()
             if self.terminated:
                 return 0
+        if self._adversary is not None:
+            self._adversary.run_tick(self.tick)
         if cfg.arrival_rate > 0 and self.tick <= cfg.arrival_until:
             self._apply_arrivals()
         consumed = self._consume_tick()
@@ -215,6 +224,9 @@ class TickEngine:
                 self._apply_churn()
             if self.terminated:
                 return 0
+        if self._adversary is not None:
+            with prof.phase("adversary"):
+                self._adversary.run_tick(self.tick)
         if cfg.arrival_rate > 0 and self.tick <= cfg.arrival_until:
             with prof.phase("arrivals"):
                 self._apply_arrivals()
@@ -292,8 +304,11 @@ class TickEngine:
         # hoisted flag: per-event _emit calls build a kwargs dict even
         # when no sink is attached, so the no-observer path skips them
         tracing = self._tracing
-        # departures: each in-network node flips a coin (§IV-A)
-        net = self.owners.network_indices
+        # departures: each in-network *honest* node flips a coin (§IV-A);
+        # adversarial identities never leave voluntarily.  With no
+        # adversaries the honest view is the plain network view, so the
+        # RNG draw (and the seeded trajectory) is unchanged.
+        net = self.owners.honest_network_indices
         leaving = net[rng.random(net.size) < rate]
         if leaving.size:
             # one vectorized draw, gated on cf > 0 so default configs
@@ -346,8 +361,10 @@ class TickEngine:
                 self.termination_reason = "ring_empty"
                 self._emit("ring_empty", tick=self.tick, tasks_lost=lost)
                 return
-        # arrivals: each waiting node flips the same coin
-        waiting = self.owners.waiting_indices
+        # arrivals: each *honest* waiting node flips the same coin.
+        # Evicted or crashed adversarial identities are quarantined — they
+        # never resurrect through the benign waiting pool.
+        waiting = self.owners.honest_waiting_indices
         joining = waiting[rng.random(waiting.size) < rate]
         if joining.size:
             insertion = self.state.begin_batch_insertion()
@@ -468,6 +485,11 @@ class TickEngine:
             termination_reason=reason,
             total_injected=self.total_injected,
             n_survivors=self.owners.n_in_network,
+            adversary=(
+                self._adversary.summary()
+                if self._adversary is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -19,7 +19,20 @@ import numpy as np
 from repro.errors import ConfigError, SimulationError
 from repro.config import SimulationConfig
 
-__all__ = ["OwnerRegistry"]
+__all__ = [
+    "OwnerRegistry",
+    "PROV_HONEST",
+    "PROV_BENEVOLENT",
+    "PROV_ADVERSARIAL",
+]
+
+#: Slot/owner provenance codes (int8): who is behind an identity.
+#: ``PROV_BENEVOLENT`` marks Sybil slots created by the paper's
+#: balancing strategies; ``PROV_ADVERSARIAL`` marks attacker identities
+#: injected by the adversary plane (see repro.sim.adversary).
+PROV_HONEST = 0
+PROV_BENEVOLENT = 1
+PROV_ADVERSARIAL = 2
 
 
 class OwnerRegistry:
@@ -35,13 +48,19 @@ class OwnerRegistry:
         n = config.n_nodes
         # The waiting pool only exists when churn can occur.
         self.pool_size = n if config.churn_rate > 0 else 0
-        total = n + self.pool_size
+        #: first adversarial owner index; == n_total when none exist.
+        #: Honest owners occupy [0, adversary_start), adversarial owners
+        #: the tail — honest views are cheap prefix slices.
+        self.adversary_start = n + self.pool_size
+        n_adv = config.adversary.n_adversaries if config.adversary.enabled else 0
+        total = self.adversary_start + n_adv
 
         if config.heterogeneous:
             # strength drawn uniformly from 1..maxSybils (§V-B Homogeneity)
             self.strength = rng.integers(
                 1, config.max_sybils + 1, size=total, dtype=np.int64
             )
+            self.strength[self.adversary_start:] = 1
         else:
             self.strength = np.ones(total, dtype=np.int64)
 
@@ -49,12 +68,19 @@ class OwnerRegistry:
             self.rate = self.strength.copy()
         else:
             self.rate = np.ones(total, dtype=np.int64)
+        # Adversaries accept keys but never consume: rate 0.  The rate
+        # array is write-once after this, which keeps the sharded
+        # engine's shared-memory rates mirror valid for the whole run.
+        self.rate[self.adversary_start:] = 0
 
         if config.heterogeneous:
             # a heterogeneous node may have up to `strength` Sybils (§IV-B)
             self.sybil_cap = self.strength.copy()
         else:
             self.sybil_cap = np.full(total, config.max_sybils, dtype=np.int64)
+        # Attackers ignore the benevolent Sybil cap; the eclipse owner
+        # needs room for its whole coordinated arc (budget still gates).
+        self.sybil_cap[self.adversary_start:] = config.adversary.eclipse_sybils
 
         self.in_network = np.zeros(total, dtype=bool)
         self.in_network[:n] = True
@@ -62,6 +88,17 @@ class OwnerRegistry:
         self.n_sybils = np.zeros(total, dtype=np.int64)
         #: ring id of the owner's main identity (valid while in_network)
         self.main_id = np.zeros(total, dtype=np.uint64)
+        #: owner provenance (PROV_HONEST / PROV_ADVERSARIAL)
+        self.provenance = np.zeros(total, dtype=np.int8)
+        self.provenance[self.adversary_start:] = PROV_ADVERSARIAL
+
+        # SybilControl-style join-cost accounts (None when disabled).
+        # Accounts start full so the first Sybil/join is affordable;
+        # the adversary plane refills them each tick.
+        cost = config.adversary.join_cost
+        self.join_budget: np.ndarray | None = (
+            np.full(total, cost, dtype=np.int64) if cost > 0 else None
+        )
 
         self._config = config
         # flatnonzero caches over ``in_network``; invalidated by the two
@@ -69,6 +106,8 @@ class OwnerRegistry:
         # must treat the returned arrays as read-only.
         self._network_cache: np.ndarray | None = None
         self._waiting_cache: np.ndarray | None = None
+        self._honest_network_cache: np.ndarray | None = None
+        self._honest_waiting_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -93,6 +132,38 @@ class OwnerRegistry:
         return self._waiting_cache
 
     @property
+    def honest_network_indices(self) -> np.ndarray:
+        """In-network owners excluding the adversarial tail segment.
+
+        Strategies balance over these (adversaries do not cooperate),
+        and churn departures are drawn from them (adversaries do not
+        leave voluntarily).  When no adversaries exist this *is* the
+        plain network view — same array, no copy.
+        """
+        net = self.network_indices
+        if self.adversary_start == self.n_total:
+            return net
+        if self._honest_network_cache is None:
+            cut = int(np.searchsorted(net, self.adversary_start))
+            self._honest_network_cache = net[:cut]
+        return self._honest_network_cache
+
+    @property
+    def honest_waiting_indices(self) -> np.ndarray:
+        """Waiting-pool owners excluding adversaries.
+
+        Churn joins draw from these: un-joined (or evicted) adversaries
+        must never re-enter the ring through the benign waiting pool.
+        """
+        waiting = self.waiting_indices
+        if self.adversary_start == self.n_total:
+            return waiting
+        if self._honest_waiting_cache is None:
+            cut = int(np.searchsorted(waiting, self.adversary_start))
+            self._honest_waiting_cache = waiting[:cut]
+        return self._honest_waiting_cache
+
+    @property
     def n_in_network(self) -> int:
         return self.network_indices.size
 
@@ -112,10 +183,21 @@ class OwnerRegistry:
 
     # ------------------------------------------------------------------
     def can_add_sybil(self, owner: int) -> bool:
-        """Whether ``owner`` may inject one more Sybil right now."""
+        """Whether ``owner`` may inject one more Sybil right now.
+
+        Folds the join-cost defense in: an owner whose budget cannot
+        cover one join is not eligible, so strategies respect the knob
+        without any strategy-code changes (and without wasting RNG
+        draws on placements that would be refused).
+        """
         return bool(
             self.in_network[owner]
             and self.n_sybils[owner] < self.sybil_cap[owner]
+            and (
+                self.join_budget is None
+                or self.join_budget[owner]
+                >= self._config.adversary.join_cost
+            )
         )
 
     def register_sybil(self, owner: int) -> None:
@@ -126,7 +208,41 @@ class OwnerRegistry:
                 f"sybils={int(self.n_sybils[owner])}/"
                 f"{int(self.sybil_cap[owner])})"
             )
+        if self.join_budget is not None:
+            self.join_budget[owner] -= self._config.adversary.join_cost
         self.n_sybils[owner] += 1
+
+    def spend_join_budget(self, owner: int) -> bool:
+        """Pay the join cost for a *main-identity* join, if affordable.
+
+        Used by the adversary plane for attack joins (free-riders and
+        the eclipse owner's entry).  Returns False — join refused this
+        tick — when the account cannot cover the cost.
+        """
+        if self.join_budget is None:
+            return True
+        cost = self._config.adversary.join_cost
+        if self.join_budget[owner] < cost:
+            return False
+        self.join_budget[owner] -= cost
+        return True
+
+    def refill_join_budgets(self) -> None:
+        """Tick refill: add ``join_budget_refill``, capped at the cost."""
+        if self.join_budget is None:
+            return
+        adv = self._config.adversary
+        np.minimum(
+            self.join_budget + adv.join_budget_refill,
+            adv.join_cost,
+            out=self.join_budget,
+        )
+
+    def join_budget_remaining(self, owner: int) -> int | None:
+        """Current join-cost account balance (None when disabled)."""
+        if self.join_budget is None:
+            return None
+        return int(self.join_budget[owner])
 
     def unregister_sybils(self, owner: int, count: int) -> None:
         if count < 0 or count > self.n_sybils[owner]:
@@ -145,6 +261,8 @@ class OwnerRegistry:
         self.n_sybils[owner] = 0
         self._network_cache = None
         self._waiting_cache = None
+        self._honest_network_cache = None
+        self._honest_waiting_cache = None
 
     def join_network(self, owner: int, main_id: int) -> None:
         """Move a waiting owner into the network with a fresh main id."""
@@ -155,6 +273,8 @@ class OwnerRegistry:
         self.main_id[owner] = np.uint64(main_id)
         self._network_cache = None
         self._waiting_cache = None
+        self._honest_network_cache = None
+        self._honest_waiting_cache = None
 
     def validate(self) -> None:
         """Internal consistency checks (used by tests)."""

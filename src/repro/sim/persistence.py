@@ -39,9 +39,14 @@ __all__ = [
 #: On-disk format tags.  The trial cache folds :data:`RESULT_FORMAT`
 #: into its keys, so bumping a version here invalidates cached trials.
 #: v2 adds the failure-model fields (termination_reason,
-#: total_injected, n_survivors); v1 documents remain readable.
-RESULT_FORMAT = "repro.simulation_result.v2"
-_RESULT_FORMATS_READ = ("repro.simulation_result.v1", RESULT_FORMAT)
+#: total_injected, n_survivors); v3 adds the adversary summary block.
+#: v1 and v2 documents remain readable.
+RESULT_FORMAT = "repro.simulation_result.v3"
+_RESULT_FORMATS_READ = (
+    "repro.simulation_result.v1",
+    "repro.simulation_result.v2",
+    RESULT_FORMAT,
+)
 TRIALSET_FORMAT = "repro.trialset.v1"
 SWEEP_FORMAT = "repro.sweep.v1"
 
@@ -105,6 +110,7 @@ def result_to_dict(
         "termination_reason": result.termination_reason,
         "total_injected": result.total_injected,
         "n_survivors": result.n_survivors,
+        "adversary": result.adversary,
     }
     if include_final_loads and result.final_loads is not None:
         payload["final_loads"] = result.final_loads.tolist()
@@ -112,7 +118,7 @@ def result_to_dict(
 
 
 def result_from_dict(data: dict[str, Any]) -> SimulationResult:
-    """Inverse of :func:`result_to_dict` (reads v1 and v2 documents)."""
+    """Inverse of :func:`result_to_dict` (reads v1, v2 and v3 documents)."""
     if data.get("format") not in _RESULT_FORMATS_READ:
         raise PersistenceError(
             f"unknown result format {data.get('format')!r}"
@@ -139,6 +145,7 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
         termination_reason=data.get("termination_reason"),
         total_injected=data.get("total_injected"),
         n_survivors=data.get("n_survivors"),
+        adversary=data.get("adversary"),
     )
 
 

@@ -27,6 +27,7 @@ import numpy as np
 from repro.errors import IdSpaceError, RingError
 from repro.hashspace.idspace import IdSpace
 from repro.sim.arcops import in_arc_mask, responsible_slots
+from repro.sim.owners import PROV_BENEVOLENT, PROV_HONEST
 
 __all__ = ["NaiveRingState"]
 
@@ -44,6 +45,7 @@ class NaiveRingState:
         is_main: np.ndarray,
         keys: list[np.ndarray],
         rng: np.random.Generator,
+        provenance: np.ndarray | None = None,
     ):
         if space.bits > 64:
             raise IdSpaceError("NaiveRingState requires a <=64-bit id space")
@@ -53,6 +55,12 @@ class NaiveRingState:
         self.is_main = np.asarray(is_main, dtype=bool)
         self.keys: list[np.ndarray] = [np.asarray(k, dtype=_U64) for k in keys]
         self.counts = np.array([k.size for k in self.keys], dtype=np.int64)
+        if provenance is None:
+            self.provenance = np.where(
+                self.is_main, PROV_HONEST, PROV_BENEVOLENT
+            ).astype(np.int8)
+        else:
+            self.provenance = np.asarray(provenance, dtype=np.int8)
         self.rng = rng
         self.n_sybil_slots = int((~self.is_main).sum())
         if self.ids.size and not (self.ids[:-1] < self.ids[1:]).all():
@@ -137,8 +145,15 @@ class NaiveRingState:
             raise RingError("consumed more tasks than a slot holds")
 
     def insert_slot(
-        self, new_id: int, owner: int, *, is_main: bool
+        self,
+        new_id: int,
+        owner: int,
+        *,
+        is_main: bool,
+        provenance: int | None = None,
     ) -> tuple[int, int]:
+        if provenance is None:
+            provenance = PROV_HONEST if is_main else PROV_BENEVOLENT
         nid = _U64(self.space.validate(new_id))
         pos = int(np.searchsorted(self.ids, nid, side="left"))
         if pos < self.n_slots and self.ids[pos] == nid:
@@ -155,6 +170,9 @@ class NaiveRingState:
         self.owner = np.insert(self.owner, pos, owner)
         self.is_main = np.insert(self.is_main, pos, is_main)
         self.counts = np.insert(self.counts, pos, taken.size)
+        self.provenance = np.insert(
+            self.provenance, pos, np.int8(provenance)
+        )
         self.keys.insert(pos, taken)
         if not is_main:
             self.n_sybil_slots += 1
@@ -181,6 +199,7 @@ class NaiveRingState:
         self.owner = np.delete(self.owner, slot)
         self.is_main = np.delete(self.is_main, slot)
         self.counts = np.delete(self.counts, slot)
+        self.provenance = np.delete(self.provenance, slot)
         self.keys.pop(slot)
 
         succ_new = succ - 1 if succ > slot else succ
@@ -220,3 +239,5 @@ class NaiveRingState:
                 raise RingError(f"slot {i}: count exceeds stored keys")
         if self.n_sybil_slots != int((~self.is_main).sum()):
             raise RingError("sybil slot counter out of sync")
+        if self.provenance.size != self.n_slots:
+            raise RingError("slot provenance out of sync")

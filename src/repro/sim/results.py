@@ -49,6 +49,10 @@ class SimulationResult:
         Tasks ever submitted (initial load plus streaming arrivals).
     n_survivors:
         In-network physical nodes when the run ended.
+    adversary:
+        Attack/defense summary (captured keys, stranded tasks, detection
+        precision/recall — see docs/adversarial.md) when the run had an
+        enabled :class:`~repro.config.AdversaryModel`; None otherwise.
     """
 
     config: SimulationConfig
@@ -63,6 +67,7 @@ class SimulationResult:
     termination_reason: str | None = None
     total_injected: int | None = None
     n_survivors: int | None = None
+    adversary: dict[str, Any] | None = None
 
     @property
     def runtime_factor(self) -> float:

@@ -60,6 +60,7 @@ import numpy as np
 from repro.errors import IdSpaceError, RingError
 from repro.hashspace.idspace import IdSpace
 from repro.sim.arcops import arc_lengths, in_arc_mask, responsible_slots
+from repro.sim.owners import PROV_BENEVOLENT, PROV_HONEST
 
 __all__ = [
     "RingState",
@@ -283,6 +284,10 @@ class RingState:
         is "remaining" at construction time.
     rng:
         Generator used for reshuffling merged key arrays.
+    provenance:
+        Optional int8 provenance code per slot (see
+        :mod:`repro.sim.owners`); defaults to honest for main slots and
+        benevolent-Sybil for the rest.
     """
 
     def __init__(
@@ -293,6 +298,7 @@ class RingState:
         is_main: np.ndarray,
         keys: list[np.ndarray],
         rng: np.random.Generator,
+        provenance: np.ndarray | None = None,
     ):
         if space.bits > 64:
             raise IdSpaceError("RingState requires a <=64-bit id space")
@@ -301,6 +307,12 @@ class RingState:
         owner = np.asarray(owner, dtype=_I64)
         is_main = np.asarray(is_main, dtype=bool)
         keys = [np.asarray(k, dtype=_U64) for k in keys]
+        if provenance is None:
+            provenance = np.where(
+                is_main, PROV_HONEST, PROV_BENEVOLENT
+            ).astype(np.int8)
+        else:
+            provenance = np.asarray(provenance, dtype=np.int8)
 
         n = ids.size
         cap = _pow2_at_least(n)
@@ -309,10 +321,12 @@ class RingState:
         self._owner_buf = np.empty(cap, dtype=_I64)
         self._main_buf = np.empty(cap, dtype=bool)
         self._counts_buf = np.empty(cap, dtype=_I64)
+        self._prov_buf = np.empty(cap, dtype=np.int8)
         self._ids_buf[:n] = ids
         self._owner_buf[:n] = owner
         self._main_buf[:n] = is_main
         self._counts_buf[:n] = [k.size for k in keys]
+        self._prov_buf[:n] = provenance
         self.keys: list[np.ndarray] = keys
         self.rng = rng
         self.n_sybil_slots = int((~is_main).sum()) if n else 0
@@ -337,6 +351,7 @@ class RingState:
         self._owner_view = self._owner_buf[:n]
         self._main_view = self._main_buf[:n]
         self._counts_view = self._counts_buf[:n]
+        self._prov_view = self._prov_buf[:n]
 
     @property
     def ids(self) -> np.ndarray:
@@ -358,21 +373,33 @@ class RingState:
         """Remaining-task counts per slot (live-prefix view)."""
         return self._counts_view
 
+    @property
+    def provenance(self) -> np.ndarray:
+        """Slot provenance codes (live-prefix view; see repro.sim.owners)."""
+        return self._prov_view
+
     def _slab_bufs(self) -> tuple[np.ndarray, ...]:
         return (self._ids_buf, self._owner_buf, self._main_buf,
-                self._counts_buf)
+                self._counts_buf, self._prov_buf)
 
     def _grow(self, needed: int) -> None:
         cap = _pow2_at_least(max(needed, 2 * self._ids_buf.size))
         n = self._n
-        for name in ("_ids_buf", "_owner_buf", "_main_buf", "_counts_buf"):
+        for name in ("_ids_buf", "_owner_buf", "_main_buf", "_counts_buf",
+                     "_prov_buf"):
             old = getattr(self, name)
             new = np.empty(cap, dtype=old.dtype)
             new[:n] = old[:n]
             setattr(self, name, new)
 
     def _shift_insert(
-        self, pos: int, nid: np.uint64, owner: int, is_main: bool, count: int
+        self,
+        pos: int,
+        nid: np.uint64,
+        owner: int,
+        is_main: bool,
+        count: int,
+        prov: int,
     ) -> None:
         n = self._n
         if n + 1 > self._ids_buf.size:
@@ -383,6 +410,7 @@ class RingState:
         self._owner_buf[pos] = owner
         self._main_buf[pos] = is_main
         self._counts_buf[pos] = count
+        self._prov_buf[pos] = prov
         self._n = n + 1
         self._groups_cache = None
         self._refresh_views()
@@ -434,6 +462,7 @@ class RingState:
         pend_ids: np.ndarray,
         pend_owner: np.ndarray,
         pend_main: np.ndarray,
+        pend_prov: np.ndarray,
         pend_keys: list[np.ndarray],
     ) -> None:
         """Splice ``m`` pre-sorted pending slots into the ring in one pass.
@@ -472,6 +501,7 @@ class RingState:
         self._ids_buf[targets] = pend_ids
         self._owner_buf[targets] = pend_owner
         self._main_buf[targets] = pend_main
+        self._prov_buf[targets] = pend_prov
         self._counts_buf[targets] = [k.size for k in pend_keys]
 
         new_keys: list[np.ndarray] = []
@@ -725,13 +755,20 @@ class RingState:
             raise RingError("consumed more tasks than a slot holds")
 
     def insert_slot(
-        self, new_id: int, owner: int, *, is_main: bool
+        self,
+        new_id: int,
+        owner: int,
+        *,
+        is_main: bool,
+        provenance: int | None = None,
     ) -> tuple[int, int]:
         """Insert a new identity and transfer the keys it is responsible for.
 
         Returns ``(slot_index, acquired_count)``.  Raises
         :class:`IdSpaceError` when ``new_id`` collides with an existing
-        slot (callers redraw).
+        slot (callers redraw).  ``provenance`` defaults to honest for
+        main identities and benevolent-Sybil otherwise; the adversary
+        plane passes an explicit code.
         """
         nid = _U64(self.space.validate(new_id))
         pos = int(np.searchsorted(self.ids, nid, side="left"))
@@ -756,7 +793,9 @@ class RingState:
             kept = _EMPTY_KEYS
         old_succ_keys = self.keys[succ]
 
-        self._shift_insert(pos, nid, owner, is_main, taken_n)
+        if provenance is None:
+            provenance = PROV_HONEST if is_main else PROV_BENEVOLENT
+        self._shift_insert(pos, nid, owner, is_main, taken_n, provenance)
         self.keys.insert(pos, taken)
         if not is_main:
             self.n_sybil_slots += 1
@@ -907,6 +946,10 @@ class RingState:
                     raise RingError(f"slot {i}: key outside responsibility arc")
         if self.n_sybil_slots != int((~self.is_main).sum()):
             raise RingError("sybil slot counter out of sync")
+        if self.provenance.size != self.n_slots or (
+            (self.provenance < 0) | (self.provenance > 2)
+        ).any():
+            raise RingError("slot provenance out of sync")
         self._verify_index()
         self._verify_loads_cache()
 
@@ -1237,8 +1280,8 @@ class BatchInsertion:
         self._state = state
         self._pend_ids: list[int] = []  # sorted
         self._pend_set: set[int] = set()
-        # ident -> (owner, is_main)
-        self._records: dict[int, tuple[int, bool]] = {}
+        # ident -> (owner, is_main, provenance)
+        self._records: dict[int, tuple[int, bool, int]] = {}
         # live slot -> pending idents landing in its arc
         self._by_slot: dict[int, list[int]] = {}
         # live slot -> (pred_id, remaining-keys view) of its arc
@@ -1272,7 +1315,14 @@ class BatchInsertion:
         self._last_miss = (int(ident), pos)
         return False
 
-    def add(self, ident: int, owner: int, *, is_main: bool) -> int:
+    def add(
+        self,
+        ident: int,
+        owner: int,
+        *,
+        is_main: bool,
+        provenance: int | None = None,
+    ) -> int:
         """Queue one insertion; returns the number of keys acquired.
 
         The acquired count is the number of keys the identity would take
@@ -1327,9 +1377,11 @@ class BatchInsertion:
         if self._mask is not None:
             rel &= self._mask
         acquired = int(np.count_nonzero(rel <= dv - dp - 1))
+        if provenance is None:
+            provenance = PROV_HONEST if is_main else PROV_BENEVOLENT
         bisect.insort(pend, nid)
         self._pend_set.add(nid)
-        self._records[nid] = (int(owner), bool(is_main))
+        self._records[nid] = (int(owner), bool(is_main), int(provenance))
         lst = self._by_slot.get(slot)
         if lst is None:
             self._by_slot[slot] = [nid]
@@ -1441,8 +1493,14 @@ class BatchInsertion:
         records = [self._records[i] for i in self._pend_ids]
         pend_owner = np.array([r[0] for r in records], dtype=_I64)
         pend_main = np.array([r[1] for r in records], dtype=bool)
+        pend_prov = np.array([r[2] for r in records], dtype=np.int8)
         pend_keys = [taken[i] for i in self._pend_ids]
         positions = state.ids.searchsorted(pend_ids, side="left")
         state._admit_pending(
-            positions.astype(_I64), pend_ids, pend_owner, pend_main, pend_keys
+            positions.astype(_I64),
+            pend_ids,
+            pend_owner,
+            pend_main,
+            pend_prov,
+            pend_keys,
         )

@@ -81,7 +81,10 @@ class SimView(NetworkView):
     # NetworkView: owner census
     # ------------------------------------------------------------------
     def network_owners(self) -> np.ndarray:
-        return self._owners.network_indices
+        # Honest owners only: adversarial identities never run the
+        # balancing protocol (they are not cooperating peers).  With no
+        # adversaries configured this is the plain network view.
+        return self._owners.honest_network_indices
 
     def owner_loads(self) -> np.ndarray:
         if self._loads is None:
@@ -96,6 +99,9 @@ class SimView(NetworkView):
 
     def can_add_sybil(self, owner: int) -> bool:
         return self._owners.can_add_sybil(owner)
+
+    def join_budget_remaining(self, owner: int) -> int | None:
+        return self._owners.join_budget_remaining(owner)
 
     # ------------------------------------------------------------------
     # NetworkView: topology

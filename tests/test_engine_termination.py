@@ -11,7 +11,7 @@ termination logic unchanged and must agree exactly.
 import numpy as np
 import pytest
 
-from repro.config import FailureModel, SimulationConfig
+from repro.config import AdversaryModel, FailureModel, SimulationConfig
 from repro.sim.engine import TickEngine
 from repro.sim.shard import ShardedTickEngine
 
@@ -134,4 +134,36 @@ class TestMaxTicksOnFinalConsumptionTick:
         _, result = run_engine(self.config(max_ticks=10), shards)
         _, base = run_engine(self.config(max_ticks=10), 1)
         assert result.runtime_ticks == base.runtime_ticks
+        np.testing.assert_array_equal(result.final_loads, base.final_loads)
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+class TestFreeRiderTruncation:
+    """Free-riding adversaries strand tasks: with no churn there is no
+    rejoin path to recapture them, so the run must truncate at
+    ``max_ticks`` — never report completion — and the stranded work must
+    show up in the adversary summary, identically for every shard count.
+    """
+
+    CONFIG = SimulationConfig(
+        n_nodes=20,
+        n_tasks=1000,
+        max_ticks=60,
+        adversary=AdversaryModel(free_riders=3, attack_tick=2),
+        seed=21,
+    )
+
+    def test_truncates_with_stranded_tasks(self, shards):
+        engine, result = run_engine(self.CONFIG, shards)
+        assert not engine.finished
+        assert not result.completed
+        assert result.termination_reason == "max_ticks"
+        assert result.adversary is not None
+        assert result.adversary["stranded_tasks"] > 0
+        assert result.adversary["slots_joined"] == 3
+
+    def test_agrees_with_plain_engine(self, shards):
+        _, result = run_engine(self.CONFIG, shards)
+        _, base = run_engine(self.CONFIG, 1)
+        assert result.adversary == base.adversary
         np.testing.assert_array_equal(result.final_loads, base.final_loads)

@@ -35,6 +35,7 @@ class TestRegistry:
             "ext_maintenance",
             "ext_arrivals",
             "ext_failures",
+            "ext_adversarial",
         }
 
     def test_unknown_id(self):

@@ -55,6 +55,48 @@ class TestPeerDirectory:
         directory.add(5, ("127.0.0.1", 9002))
         assert directory.get(5) == ("127.0.0.1", 9002)
 
+    def test_tombstones_bounded_by_size(self):
+        """Retiring identities forever must not leak memory: the stone
+        set is capped, evicting oldest-first."""
+        directory = PeerDirectory(max_tombstones=8)
+        for ident in range(100):
+            directory.add(ident, ("127.0.0.1", 9000))
+            directory.remove(ident)
+        assert len(directory._tombstones) == 8
+        # the survivors are the most recent removals
+        assert sorted(directory._tombstones) == list(range(92, 100))
+        # old stones are gone, so (by design) a very stale snapshot can
+        # re-add those ids; recent retirements stay protected
+        directory.merge({0: ["127.0.0.1", 9000], 99: ["127.0.0.1", 9000]})
+        assert directory.knows(0)
+        assert not directory.knows(99)
+
+    def test_tombstones_expire_by_op_age(self):
+        directory = PeerDirectory(tombstone_ttl_ops=10)
+        directory.add(5, ("127.0.0.1", 9000))
+        directory.remove(5)
+        assert 5 in directory._tombstones
+        for ident in range(100, 106):
+            directory.add(ident, ("127.0.0.1", 9000))
+        assert 5 in directory._tombstones  # still young
+        for ident in range(106, 112):
+            directory.add(ident, ("127.0.0.1", 9000))
+        assert 5 not in directory._tombstones  # aged out
+        directory.merge({5: ["127.0.0.1", 9000]})
+        assert directory.knows(5)
+
+    def test_re_removal_refreshes_tombstone_age(self):
+        directory = PeerDirectory(max_tombstones=2)
+        for ident in (1, 2):
+            directory.add(ident, ("127.0.0.1", 9000))
+            directory.remove(ident)
+        # re-add + re-remove id 1: its stone must now be the youngest
+        directory.add(1, ("127.0.0.1", 9000))
+        directory.remove(1)
+        directory.add(3, ("127.0.0.1", 9000))
+        directory.remove(3)
+        assert sorted(directory._tombstones) == [1, 3]
+
 
 class TestRemoteNetworkLocal:
     """The SimNetwork-facade behaviours that need no sockets."""

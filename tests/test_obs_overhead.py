@@ -99,6 +99,39 @@ def test_no_observer_tick_allocates_nothing_for_observability():
     )
 
 
+def test_disabled_adversary_allocates_nothing():
+    """Same micro-benchmark contract for the adversary plane: with the
+    default (disabled) ``AdversaryModel`` no plane is constructed, so
+    ticking must produce zero allocations attributable to
+    ``repro/sim/adversary``."""
+    engine = TickEngine(CHURNY)
+    assert engine._adversary is None
+    for _ in range(5):  # warm caches (owner index, loads, groups)
+        engine.step()
+
+    tracemalloc.start(10)
+    try:
+        before = tracemalloc.take_snapshot()
+        for _ in range(20):
+            engine.step()
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+
+    adv_filter = tracemalloc.Filter(True, "*repro/sim/adversary*")
+    adv_allocs = [
+        stat
+        for stat in after.filter_traces([adv_filter]).compare_to(
+            before.filter_traces([adv_filter]), "lineno"
+        )
+        if stat.size_diff > 0
+    ]
+    assert adv_allocs == [], (
+        "adversary-plane allocations on a disabled-adversary run: "
+        + "; ".join(str(s) for s in adv_allocs)
+    )
+
+
 def test_observer_flags_capture_construction_state():
     unobserved = TickEngine(CHURNY)
     assert unobserved._observed is False

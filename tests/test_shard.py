@@ -10,7 +10,7 @@ tiny test rings actually exercise the worker-pool path.
 import numpy as np
 import pytest
 
-from repro.config import FailureModel, SimulationConfig
+from repro.config import AdversaryModel, FailureModel, SimulationConfig
 from repro.errors import ConfigError
 from repro.obs.metrics import result_fingerprint
 from repro.sim.engine import TickEngine
@@ -115,6 +115,29 @@ SYBIL_CONFIG = SimulationConfig(
     seed=424242,
 )
 
+#: Same ring under active attack + both defenses: the adversary phase
+#: (eclipse joins, budget refills, density evictions, targeted crashes)
+#: runs entirely in the coordinator, so shard counts must not change a
+#: single byte of the trajectory.
+ADVERSARIAL_CONFIG = SimulationConfig(
+    strategy="invitation",
+    n_nodes=50,
+    n_tasks=3000,
+    churn_rate=0.02,
+    max_sybils=5,
+    seed=424242,
+    adversary=AdversaryModel(
+        eclipse_sybils=12,
+        eclipse_arc_fraction=0.01,
+        free_riders=2,
+        churn_amplification=0.05,
+        attack_tick=5,
+        join_cost=2,
+        detection_interval=10,
+    ),
+    max_ticks=1500,
+)
+
 
 def sharded_result(config, shards, **kwargs):
     with ShardedTickEngine(
@@ -125,12 +148,18 @@ def sharded_result(config, shards, **kwargs):
 
 class TestBitIdentity:
     @pytest.mark.parametrize("shards", [1, 2, 4])
-    def test_matches_plain_engine(self, shards):
-        base = TickEngine(SYBIL_CONFIG).run()
-        sharded = sharded_result(SYBIL_CONFIG, shards)
+    @pytest.mark.parametrize(
+        "config",
+        [SYBIL_CONFIG, ADVERSARIAL_CONFIG],
+        ids=["benevolent", "adversarial"],
+    )
+    def test_matches_plain_engine(self, config, shards):
+        base = TickEngine(config).run()
+        sharded = sharded_result(config, shards)
         assert result_fingerprint(sharded) == result_fingerprint(base)
         assert sharded.runtime_ticks == base.runtime_ticks
         assert sharded.counters == base.counters
+        assert sharded.adversary == base.adversary
         np.testing.assert_array_equal(sharded.final_loads, base.final_loads)
 
     def test_shards_with_arrivals_and_crashes(self):

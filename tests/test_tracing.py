@@ -1,8 +1,6 @@
 """Tests for the structured event trace."""
 
-import importlib
 import json
-import sys
 
 import pytest
 
@@ -11,17 +9,12 @@ from repro.obs.trace import TraceRecorder
 from repro.sim.engine import TickEngine
 
 
-def test_sim_tracing_shim_warns_on_import():
-    """The legacy ``repro.sim.tracing`` shim must announce itself.
-
-    The module may already be cached from another test's import, so the
-    warning is asserted on a forced re-execution of the module body.
-    """
-    sys.modules.pop("repro.sim.tracing", None)
-    with pytest.warns(DeprecationWarning, match="repro.sim.tracing"):
-        shim = importlib.import_module("repro.sim.tracing")
-    # the shim still re-exports the moved types
-    assert shim.TraceRecorder is TraceRecorder
+def test_sim_tracing_shim_removed():
+    """The deprecated ``repro.sim.tracing`` shim is gone for good —
+    importing it must fail so stale call sites surface loudly rather
+    than silently re-growing a compatibility layer."""
+    with pytest.raises(ModuleNotFoundError):
+        import repro.sim.tracing  # noqa: F401
 
 
 def traced_run(**overrides):
