@@ -10,13 +10,15 @@ BENCH_TICK_CURRENT  := benchmarks/.bench_tick_current.json
 
 .PHONY: test lint typecheck bench bench-baseline bench-check \
 	bench-tick bench-tick-baseline bench-tick-check \
-	sweep-resume-check obs-smoke net-smoke adv-smoke check figures
+	sweep-resume-check obs-smoke net-smoke adv-smoke sanitize-smoke \
+	check figures
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-# reprolint: determinism/correctness AST rules (R001-R006); exits
-# non-zero on any error-severity finding
+# reprolint: determinism/correctness AST rules (R001-R009, including
+# the cross-module concurrency pass); exits non-zero on any
+# error-severity finding
 lint:
 	$(PYTHON) -m repro.cli lint src
 
@@ -80,10 +82,19 @@ net-smoke:
 adv-smoke:
 	$(PYTHON) scripts/adv_smoke.py
 
+# rerun the three smoke gates with the runtime determinism sanitizer
+# live (REPRO_SANITIZE=1): zero sanitizer reports and fingerprints
+# bit-identical to unsanitized runs (see src/repro/sanitize.py)
+sanitize-smoke:
+	REPRO_SANITIZE=1 $(PYTHON) scripts/obs_smoke.py
+	REPRO_SANITIZE=1 $(PYTHON) scripts/adv_smoke.py
+	REPRO_SANITIZE=1 $(PYTHON) scripts/net_smoke.py
+
 # the full tier-1 gate: static analysis, unit/property tests, perf
-# regression, resume, observability, live serving, adversary plane
+# regression, resume, observability, live serving, adversary plane,
+# sanitized smokes
 check: lint typecheck test bench-check bench-tick-check \
-	sweep-resume-check obs-smoke net-smoke adv-smoke
+	sweep-resume-check obs-smoke net-smoke adv-smoke sanitize-smoke
 
 figures:
 	$(PYTHON) -m repro.cli figures --out figures/

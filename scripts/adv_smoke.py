@@ -14,6 +14,11 @@ Sybil plane's headline invariants (see docs/adversarial.md):
    and the join-cost budget provably does *not* stop them;
 5. the ``repro simulate --adv-*`` CLI surface reports the attack.
 
+Under ``REPRO_SANITIZE=1`` (the CI ``sanitize-smoke`` job) every run
+above executes with the runtime determinism sanitizer live; the script
+then additionally requires zero sanitizer reports and that an
+*unsanitized* rerun of the baseline is bit-identical.
+
 Exits non-zero with a message on the first violated property.
 """
 
@@ -27,6 +32,7 @@ from pathlib import Path
 SRC = Path(__file__).resolve().parent.parent / "src"
 sys.path.insert(0, str(SRC))
 
+from repro import sanitize  # noqa: E402
 from repro.config import AdversaryModel, SimulationConfig  # noqa: E402
 from repro.obs import result_fingerprint  # noqa: E402
 from repro.sim.engine import TickEngine  # noqa: E402
@@ -124,6 +130,21 @@ def main() -> None:
         fail(f"repro simulate --adv-* exited {proc.returncode}:\n{proc.stderr}")
     if "adv captured fraction" not in proc.stdout:
         fail("CLI output missing adversary metrics:\n" + proc.stdout)
+
+    # 6. sanitizer non-interference: all runs above were instrumented
+    #    when the flag is set; reports must be empty and a bare rerun
+    #    of the baseline must fingerprint identically.
+    if sanitize.enabled():
+        if sanitize.report_count():
+            fail(f"sanitizer violations: {sanitize.reports()}")
+        flag = os.environ.pop(sanitize.ENV_FLAG)
+        try:
+            bare = run()
+        finally:
+            os.environ[sanitize.ENV_FLAG] = flag
+        if result_fingerprint(bare) != result_fingerprint(plain):
+            fail("sanitizer perturbed a seeded adversarial run")
+        print("adv-smoke: sanitizer live — zero reports, bit-identical")
 
     print("adv-smoke: OK — default-off identity, eclipse capture, "
           "clean detection, free-rider stranding, CLI surface")

@@ -17,6 +17,12 @@ A JSONL trace of each run is written next to the summary under
 ``--out`` (default: a temp dir); CI uploads it as an artifact when the
 job fails.
 
+Under ``REPRO_SANITIZE=1`` (the CI ``sanitize-smoke`` job) the stress
+client runs with the runtime determinism sanitizer live and must end
+with zero reports; the serve children inherit the flag, run their
+event loops in debug mode, and exit non-zero on any violation — which
+the clean-shutdown gate (property 4) then fails.
+
 Exits non-zero with a message on the first violated property.
 """
 
@@ -30,6 +36,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import sanitize  # noqa: E402
 from repro.net.cluster import LocalCluster  # noqa: E402
 from repro.net.stress import StressConfig, run_stress_sync  # noqa: E402
 from repro.net.transport import RetryPolicy  # noqa: E402
@@ -75,6 +82,11 @@ def run_one(strategy: str, out_dir: Path) -> None:
         )
         with JsonlTraceSink(trace_path) as trace:
             summary = run_stress_sync(config, trace=trace)
+        if sanitize.enabled() and sanitize.report_count():
+            fail(
+                "sanitizer violations on the stress side "
+                f"(strategy={strategy}): {sanitize.reports()}"
+            )
     finally:
         clean = cluster.stop(timeout=STOP_TIMEOUT)
 

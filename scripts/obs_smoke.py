@@ -8,7 +8,14 @@ and via the ``repro trace`` / ``repro profile`` CLI — and requires:
 2. the profiler saw every phase the run exercised;
 3. **non-interference**: the traced+profiled result is bit-identical to
    the plain run (same fingerprint, same final loads) — observability
-   must never perturb simulation state or RNG streams.
+   must never perturb simulation state or RNG streams;
+4. **shard non-interference**: a 2-shard parallel run fingerprints
+   identically to the sequential run.
+
+Under ``REPRO_SANITIZE=1`` (the CI ``sanitize-smoke`` job) the runtime
+determinism sanitizer is live for every leg; the script then also
+requires zero sanitizer reports and that an *unsanitized* rerun
+fingerprints identically — instrumentation must be invisible.
 
 Exits non-zero with a message on the first violated property.
 """
@@ -16,6 +23,7 @@ Exits non-zero with a message on the first violated property.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -32,6 +40,7 @@ from repro.obs import (  # noqa: E402
     read_trace_jsonl,
     result_fingerprint,
 )
+from repro import sanitize  # noqa: E402
 from repro.sim.trials import run_trial  # noqa: E402
 
 CONFIG = SimulationConfig(
@@ -87,7 +96,31 @@ def main() -> None:
     if not np.array_equal(plain.final_loads, observed.final_loads):
         fail("final_loads diverged between plain and observed runs")
 
-    # 4. the CLI subcommands agree with the library fingerprint
+    # 4. shard non-interference: the parallel path fingerprints the same
+    sharded = run_trial(CONFIG, shards=2, min_parallel_slots=1)
+    fp_sharded = result_fingerprint(sharded)
+    if fp_sharded != fp_plain:
+        fail(f"sharded fingerprint diverged: {fp_sharded} != {fp_plain}")
+
+    # 5. sanitizer: every leg above ran instrumented when the flag is
+    #    set — require a clean report list, then prove the sanitizer
+    #    itself does not perturb results by rerunning without it.
+    if sanitize.enabled():
+        if sanitize.report_count():
+            fail(f"sanitizer violations: {sanitize.reports()}")
+        flag = os.environ.pop(sanitize.ENV_FLAG)
+        try:
+            fp_bare = result_fingerprint(run_trial(CONFIG))
+        finally:
+            os.environ[sanitize.ENV_FLAG] = flag
+        if fp_bare != fp_plain:
+            fail(
+                f"sanitizer perturbed the run: {fp_plain} (sanitized) "
+                f"!= {fp_bare} (bare)"
+            )
+        print("obs-smoke: sanitizer live — zero reports, bit-identical")
+
+    # 6. the CLI subcommands agree with the library fingerprint
     cli_trace = subprocess.run(
         [sys.executable, "-m", "repro", "trace", *SIM_ARGS,
          "--out", str(workdir / "cli_trace.jsonl"), "--json"],
@@ -109,7 +142,7 @@ def main() -> None:
     print(
         f"obs-smoke: OK — {sink.n_written} events traced, "
         f"{len(profiler.calls)} phases profiled, fingerprint {fp_plain} "
-        "identical with observability on/off"
+        "identical with observability on/off and across 2 shards"
     )
 
 

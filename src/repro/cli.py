@@ -33,9 +33,11 @@ Subcommands
     cache — re-running the same command recomputes only missing trials.
 ``repro cache [--clear]``
     Show (or empty) the content-addressed trial cache.
-``repro lint [paths] [--json] [--select R00x,...] [--list-rules]``
-    Run the reprolint determinism/correctness rules (R001-R006, see
+``repro lint [paths] [--format text|json|sarif] [--select R00x,...]``
+    Run the reprolint determinism/correctness rules (R001-R009, see
     docs/static-analysis.md); exits non-zero on any error finding.
+    Unchanged trees replay from the content-hash cache (``--no-cache``
+    or ``REPRO_LINT_CACHE=0`` bypasses it).
 ``repro serve [--port P] [--join HOST:PORT] [--ring N] [--strategy S] ...``
     Run one live asyncio DHT node on real TCP sockets (or, with
     ``--ring N``, a local multi-process ring).  Prints a
@@ -190,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="consumption kernel backend (default: numpy, or "
         "$REPRO_SIM_BACKEND; numba requires the optional numba package)",
     )
+    sim_p.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the runtime determinism sanitizer (REPRO_SANITIZE=1): "
+        "raises on RNG aliasing, non-disjoint shard plans, and draws "
+        "inside RNG-free phases",
+    )
 
     sweep_p = sub.add_parser(
         "sweep", help="one-dimensional parameter sweep with resume"
@@ -295,7 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_p.add_argument(
         "--json", action="store_true",
-        help="emit the deterministic JSON report instead of text",
+        help="emit the deterministic JSON report (alias for --format json)",
+    )
+    lint_p.add_argument(
+        "--format", dest="format", default=None,
+        choices=["text", "json", "sarif"],
+        help="report format: human text (default), the byte-stable JSON "
+        "artifact, or SARIF 2.1.0 for code scanning",
     )
     lint_p.add_argument(
         "--select", default=None,
@@ -304,6 +318,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+    lint_p.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the content-hash lint cache for this run",
     )
 
     serve_p = sub.add_parser(
@@ -353,6 +371,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=2,
         help="transparent resends after transient transport failures",
     )
+    serve_p.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the runtime determinism sanitizer (REPRO_SANITIZE=1): "
+        "blocked-loop detection + RNG stream ownership; non-empty "
+        "sanitizer reports fail the process on shutdown",
+    )
 
     stress_p = sub.add_parser(
         "stress", help="seeded load generator against live nodes"
@@ -388,6 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
     stress_p.add_argument(
         "--json", action="store_true",
         help="emit the machine-readable summary (sorted keys)",
+    )
+    stress_p.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the runtime determinism sanitizer (REPRO_SANITIZE=1) "
+        "for the load-generator process",
     )
 
     rep_p = sub.add_parser(
@@ -466,6 +495,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.trials import make_trial_fn, run_trials
     from repro.util.tables import format_kv
 
+    if args.sanitize:
+        from repro.sanitize import ENV_FLAG
+
+        os.environ[ENV_FLAG] = "1"
     config = SimulationConfig(
         strategy=args.strategy,
         n_nodes=args.nodes,
@@ -807,7 +840,13 @@ def _cmd_theory(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import all_rules, lint_paths, render_human, render_json
+    from repro.lint import (
+        all_rules,
+        lint_paths,
+        render_human,
+        render_json,
+        render_sarif,
+    )
 
     if args.list_rules:
         for rule in all_rules():
@@ -821,24 +860,36 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         else:
             paths = [Path(__file__).resolve().parent]
     select = args.select.split(",") if args.select else None
-    report = lint_paths(paths, select=select)
-    output = render_json(report) if args.json else render_human(report)
-    print(output, end="" if args.json else "\n")
+    fmt = args.format or ("json" if args.json else "text")
+    report = lint_paths(paths, select=select, cache=not args.no_cache)
+    if fmt == "json":
+        print(render_json(report), end="")
+    elif fmt == "sarif":
+        print(render_sarif(report), end="")
+    else:
+        print(render_human(report))
     return report.exit_code
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.sanitize:
+        # Set before any node (or ring subprocess) starts: children
+        # inherit the environment, so the whole ring is sanitized.
+        from repro.sanitize import ENV_FLAG
+
+        os.environ[ENV_FLAG] = "1"
     if args.ring is not None:
         return _serve_ring(args)
     import asyncio
     import json as _json
     import signal
 
+    from repro import sanitize
     from repro.net.cluster import READY_PREFIX
     from repro.net.node import LiveNode, LiveNodeConfig
     from repro.net.transport import RetryPolicy, parse_address
 
-    async def _run() -> None:
+    async def _run() -> int:
         config = LiveNodeConfig(
             seed=args.seed,
             bits=args.bits,
@@ -872,9 +923,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             loop.add_signal_handler(signum, node.request_stop)
         await node.run_until_stopped()
         await node.stop()
+        if sanitize.enabled() and sanitize.report_count():
+            for message in sanitize.reports():
+                print(f"SANITIZE: {message}", file=sys.stderr, flush=True)
+            return 1
+        return 0
 
-    asyncio.run(_run())
-    return 0
+    return asyncio.run(_run())
 
 
 def _serve_ring(args: argparse.Namespace) -> int:
@@ -919,6 +974,10 @@ def _cmd_stress(args: argparse.Namespace) -> int:
     from repro.obs import JsonlTraceSink
     from repro.util.tables import format_kv
 
+    if args.sanitize:
+        from repro.sanitize import ENV_FLAG
+
+        os.environ[ENV_FLAG] = "1"
     config = StressConfig(
         targets=tuple(parse_address(t) for t in args.targets),
         duration=args.duration,

@@ -5,9 +5,11 @@ A rule is a small class with a stable ``rule_id`` (``R00x``), a
 
 * :class:`Rule` — per-file; ``check(ctx)`` yields findings for one
   parsed module.  Most rules are plain ``ast.NodeVisitor`` subclasses.
-* :class:`ProjectRule` — cross-file; ``check_project(ctxs)`` sees every
-  collected file at once (config-drift and schema-version checks need
-  the whole tree).
+* :class:`ProjectRule` — cross-file; ``check_project(project)`` receives
+  the whole-project :class:`~repro.lint.projectmodel.ProjectModel`
+  (import graph, symbol table, call-graph approximation) built once per
+  run — config-drift, schema-version, and the interprocedural
+  concurrency rules all need more than one file at a time.
 
 Rules register themselves via the :func:`register` decorator at import
 time; :func:`all_rules` returns them in rule-id order so engine output
@@ -19,7 +21,10 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import PurePosixPath
-from typing import Iterable, Iterator, Type, Union
+from typing import TYPE_CHECKING, Iterable, Iterator, Type, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.projectmodel import ProjectModel
 
 from repro.errors import LintError
 from repro.lint.findings import Finding, Severity
@@ -82,14 +87,17 @@ class Rule:
 
 
 class ProjectRule(Rule):
-    """Cross-file rule; receives every collected file at once."""
+    """Cross-file rule; receives the whole-project model at once.
+
+    ``project.ctxs`` holds every collected :class:`FileContext` (the
+    pre-v2 interface); the model's symbol table, import resolution, and
+    call graph are available for interprocedural rules.
+    """
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         return iter(())
 
-    def check_project(
-        self, ctxs: list[FileContext]
-    ) -> Iterator[Finding]:
+    def check_project(self, project: "ProjectModel") -> Iterator[Finding]:
         raise NotImplementedError
 
 

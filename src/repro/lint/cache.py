@@ -1,0 +1,146 @@
+"""Content-hash lint cache.
+
+``make lint`` on an unchanged tree should be near-instant: the whole
+run is a pure function of (rule-set version, selected rule ids, the
+relative label and content hash of every collected file), so one
+sha256 over that tuple keys the finished report.  A hit replays the
+stored findings without parsing a single file; cached and uncached
+reports are byte-identical under every renderer because the report is
+reconstructed field-for-field (only the in-memory ``from_cache`` flag
+differs, and no renderer serializes it).
+
+Layout mirrors :mod:`repro.sim.cache`: one JSON file per key under
+``~/.cache/repro/lint`` (override with ``REPRO_LINT_CACHE_DIR``),
+written atomically via temp-file rename.  ``REPRO_LINT_CACHE=0``
+disables the cache entirely; corrupt or unreadable entries are treated
+as misses, never as errors — the cache can only make linting faster,
+not wronger.
+
+``RULESET_VERSION`` must be bumped whenever any rule's logic changes,
+otherwise a stale report could mask a new finding on an unchanged tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence, Union
+
+from repro.lint.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import LintReport
+
+__all__ = [
+    "RULESET_VERSION",
+    "cache_enabled",
+    "cache_dir",
+    "tree_key",
+    "load",
+    "store",
+]
+
+#: Bump on ANY rule-logic change — it participates in every cache key.
+RULESET_VERSION = "reprolint-v2.0"
+
+ENV_CACHE = "REPRO_LINT_CACHE"
+ENV_CACHE_DIR = "REPRO_LINT_CACHE_DIR"
+
+_PAYLOAD_FORMAT = "repro.lint_cache.v1"
+
+
+def cache_enabled() -> bool:
+    """Cache is on unless ``REPRO_LINT_CACHE=0``."""
+    return os.environ.get(ENV_CACHE, "1") != "0"
+
+
+def cache_dir() -> Path:
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "lint"
+
+
+def tree_key(
+    rule_ids: Sequence[str], sources: Sequence[tuple[str, str]]
+) -> str:
+    """sha256 key over the rule set and every (label, content) pair."""
+    manifest = {
+        "ruleset": RULESET_VERSION,
+        "rules": sorted(rule_ids),
+        "files": sorted(
+            (label, hashlib.sha256(source.encode("utf-8")).hexdigest())
+            for label, source in sources
+        ),
+    }
+    blob = json.dumps(manifest, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _entry_path(key: str) -> Path:
+    return cache_dir() / f"{key}.json"
+
+
+def load(key: str) -> Union["LintReport", None]:
+    """Stored report for ``key``, or ``None`` on any miss/corruption."""
+    from repro.lint.engine import LintReport
+
+    path = _entry_path(key)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("format") != _PAYLOAD_FORMAT:
+        return None
+    try:
+        findings = [
+            Finding(
+                rule=f["rule"],
+                severity=Severity(f["severity"]),
+                path=f["path"],
+                line=int(f["line"]),
+                col=int(f["col"]),
+                message=f["message"],
+            )
+            for f in payload["findings"]
+        ]
+        return LintReport(
+            findings=findings,
+            n_files=int(payload["n_files"]),
+            n_suppressed=int(payload["n_suppressed"]),
+            rules_run=list(payload["rules"]),
+            from_cache=True,
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def store(key: str, report: "LintReport") -> None:
+    """Atomically persist ``report``; cache errors are swallowed."""
+    payload = {
+        "format": _PAYLOAD_FORMAT,
+        "rules": report.rules_run,
+        "n_files": report.n_files,
+        "n_suppressed": report.n_suppressed,
+        "findings": [f.to_dict() for f in report.findings],
+    }
+    directory = cache_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=".lint-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, _entry_path(key))
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    except OSError:
+        return

@@ -28,7 +28,10 @@ _SKIP_DIRS = {
     "__pycache__",
     ".git",
     ".hypothesis",
+    ".mypy_cache",
     ".pytest_cache",
+    ".ruff_cache",
+    ".venv",
     "build",
     "dist",
 }
@@ -42,6 +45,10 @@ class LintReport:
     n_files: int
     n_suppressed: int
     rules_run: list[str] = field(default_factory=list)
+    #: True when the report was served from the content-hash cache.
+    #: Not part of any rendered format — cached and uncached renders of
+    #: the same tree must stay byte-identical.
+    from_cache: bool = False
 
     @property
     def errors(self) -> list[Finding]:
@@ -90,24 +97,43 @@ def lint_paths(
     *,
     select: Union[Iterable[str], None] = None,
     root: Union[str, Path, None] = None,
+    cache: bool = True,
 ) -> LintReport:
     """Lint every python file under ``paths`` with the selected rules.
 
     ``root`` anchors the relative paths in findings (defaults to the
     current working directory); suppression comments are honored before
-    findings reach the report.
+    findings reach the report.  With ``cache=True`` (the default) the
+    run consults the content-hash cache (:mod:`repro.lint.cache`): an
+    unchanged tree with an unchanged rule set replays the stored report
+    without parsing or running any rule.
     """
+    from repro.lint import cache as lint_cache
+
     rules = resolve_rules(select)
     root_path = Path(root).resolve() if root is not None else Path.cwd()
     files = _collect_files(paths)
 
+    sources: list[tuple[str, str]] = []
+    for file in files:
+        sources.append(
+            (_relative_label(file, root_path), file.read_text(encoding="utf-8"))
+        )
+
+    cache_key: Union[str, None] = None
+    if cache and lint_cache.cache_enabled():
+        cache_key = lint_cache.tree_key(
+            [r.rule_id for r in rules], sources
+        )
+        cached = lint_cache.load(cache_key)
+        if cached is not None:
+            return cached
+
     ctxs: list[FileContext] = []
     findings: list[Finding] = []
-    for file in files:
-        label = _relative_label(file, root_path)
-        source = file.read_text(encoding="utf-8")
+    for label, source in sources:
         try:
-            tree = ast.parse(source, filename=str(file))
+            tree = ast.parse(source, filename=label)
         except SyntaxError as exc:
             findings.append(
                 Finding(
@@ -129,8 +155,12 @@ def lint_paths(
     for ctx in ctxs:
         for rule in file_rules:
             raw.extend(rule.check(ctx))
-    for rule in project_rules:
-        raw.extend(rule.check_project(ctxs))
+    if project_rules:
+        from repro.lint.projectmodel import build_project_model
+
+        model = build_project_model(ctxs)
+        for rule in project_rules:
+            raw.extend(rule.check_project(model))
 
     suppressions = {
         ctx.path: parse_suppressions(ctx.source) for ctx in ctxs
@@ -146,12 +176,15 @@ def lint_paths(
         findings.append(finding)
 
     findings.sort(key=Finding.sort_key)
-    return LintReport(
+    report = LintReport(
         findings=findings,
         n_files=len(files),
         n_suppressed=n_suppressed,
         rules_run=[r.rule_id for r in rules],
     )
+    if cache_key is not None:
+        lint_cache.store(cache_key, report)
+    return report
 
 
 def render_human(report: LintReport) -> str:

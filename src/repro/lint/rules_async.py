@@ -1,0 +1,227 @@
+"""R007 async-discipline: the live ``net/`` layer must not stall its loop.
+
+The asyncio event loop in :mod:`repro.net` multiplexes the TCP server,
+the maintenance/heartbeat/decision loops, and every stress worker on one
+thread.  A single synchronous call inside a coroutine freezes all of
+them at once — heartbeats miss, peers declare the node dead, and the
+seeded stress measurements silently include the stall.  The discipline
+the layer already follows (blocking protocol work hops through
+``loop.run_in_executor``; tasks are retained in ``self._tasks``) is what
+R007 pins:
+
+* **No blocking calls inside ``async def``** — ``time.sleep``, sync
+  socket construction/IO, ``subprocess``/``os.system``, bare ``open``.
+  The check is interprocedural through the project model: a coroutine
+  calling a *project* sync function that (transitively) performs one of
+  those blocking operations is flagged too, with the offending chain in
+  the message.  Handing the same function to ``run_in_executor`` is
+  clean — that is the sanctioned escape hatch, and a bare function
+  reference is not a call.
+* **No un-awaited coroutine calls** — a statement-position call of a
+  project ``async def`` (or ``asyncio.sleep``/``gather``/``wait``/
+  ``wait_for``) builds a coroutine object and throws it away; the body
+  never runs and Python only warns at GC time, nondeterministically.
+* **No dropped task handles** — ``create_task``/``ensure_future`` in
+  statement position discards the only strong reference; the event loop
+  keeps weak ones, so the task can be garbage-collected mid-flight
+  (the exact bug the ``self._tasks`` list in ``LiveNode`` prevents).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.lint.base import ProjectRule, register
+from repro.lint.findings import Finding
+from repro.lint.projectmodel import (
+    FunctionInfo,
+    ProjectModel,
+    attr_chain,
+)
+
+__all__ = ["AsyncDiscipline"]
+
+#: Exact dotted names that block the calling thread.
+_BLOCKING_EXACT = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.wait",
+        "os.waitpid",
+        "open",
+        "input",
+    }
+)
+
+#: Dotted-name prefixes whose whole namespace is synchronous I/O.
+_BLOCKING_PREFIXES = (
+    "socket.",
+    "subprocess.",
+    "urllib.request.",
+    "requests.",
+)
+
+#: Statement-position calls to these asyncio helpers build a coroutine
+#: (or future) that nothing ever awaits.
+_AWAITABLE_FACTORIES = frozenset(
+    {
+        "asyncio.sleep",
+        "asyncio.gather",
+        "asyncio.wait",
+        "asyncio.wait_for",
+        "asyncio.open_connection",
+        "asyncio.start_server",
+    }
+)
+
+_TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+
+def _is_blocking_name(dotted: str) -> bool:
+    if dotted in _BLOCKING_EXACT:
+        return True
+    return any(dotted.startswith(p) for p in _BLOCKING_PREFIXES)
+
+
+def _shallow_calls(
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+) -> Iterator[ast.Call]:
+    """Calls in a function body, not descending into nested defs or
+    lambdas (their bodies run on their own rules, not in this frame)."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        sub = stack.pop()
+        if isinstance(
+            sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(sub, ast.Call):
+            yield sub
+        stack.extend(ast.iter_child_nodes(sub))
+
+
+@register
+class AsyncDiscipline(ProjectRule):
+    """R007: coroutines in ``net/`` never block, drop, or leak work."""
+
+    rule_id = "R007"
+    name = "async-discipline"
+    summary = (
+        "no blocking calls, un-awaited coroutines, or dropped task "
+        "handles in net/ async code"
+    )
+
+    SCOPE_DIRS = ("net",)
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        blocking = self._blocking_project_functions(project)
+        async_names = {
+            q for q, f in project.functions.items() if f.is_async
+        }
+        for qualname in sorted(project.functions):
+            info = project.functions[qualname]
+            if not info.ctx.in_dirs(*self.SCOPE_DIRS):
+                continue
+            if info.is_async:
+                yield from self._check_blocking(project, info, blocking)
+            yield from self._check_statement_calls(
+                project, info, async_names
+            )
+
+    # ------------------------------------------------------------------
+    def _blocking_project_functions(
+        self, project: ProjectModel
+    ) -> dict[str, str]:
+        """Sync project functions that (transitively) block, mapped to
+        the dotted blocking primitive that makes them so."""
+        blocking: dict[str, str] = {}
+        for qualname in sorted(project.functions):
+            info = project.functions[qualname]
+            if info.is_async:
+                continue
+            for callee in info.calls:
+                if _is_blocking_name(callee):
+                    blocking[qualname] = callee
+                    break
+        # contagion: calling a blocking sync function is itself blocking
+        changed = True
+        while changed:
+            changed = False
+            for qualname in sorted(project.functions):
+                if qualname in blocking:
+                    continue
+                info = project.functions[qualname]
+                if info.is_async:
+                    continue
+                for callee in info.calls:
+                    if callee in blocking:
+                        blocking[qualname] = blocking[callee]
+                        changed = True
+                        break
+        return blocking
+
+    def _check_blocking(
+        self,
+        project: ProjectModel,
+        info: FunctionInfo,
+        blocking: dict[str, str],
+    ) -> Iterator[Finding]:
+        for call in _shallow_calls(info.node):
+            resolved = project.resolve(info, call.func)
+            if resolved is None:
+                continue
+            if _is_blocking_name(resolved):
+                yield self.finding(
+                    info.ctx,
+                    call,
+                    f"blocking call `{resolved}` inside "
+                    f"`async def {info.node.name}` stalls the event "
+                    "loop — await an async equivalent or hop through "
+                    "loop.run_in_executor",
+                )
+            elif resolved in blocking:
+                via = blocking[resolved]
+                yield self.finding(
+                    info.ctx,
+                    call,
+                    f"`{resolved}` blocks (calls `{via}`) and is "
+                    f"invoked synchronously inside "
+                    f"`async def {info.node.name}` — dispatch it via "
+                    "loop.run_in_executor",
+                )
+
+    def _check_statement_calls(
+        self,
+        project: ProjectModel,
+        info: FunctionInfo,
+        async_names: frozenset,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Expr) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            call = node.value
+            chain = attr_chain(call.func)
+            resolved = project.resolve(info, call.func)
+            if chain and chain[-1] in _TASK_SPAWNERS:
+                yield self.finding(
+                    info.ctx,
+                    call,
+                    f"`{'.'.join(chain)}(...)` result dropped — the "
+                    "loop holds only a weak reference, so the task can "
+                    "be garbage-collected mid-flight; retain the handle "
+                    "(e.g. append to a task list)",
+                )
+            elif resolved is not None and (
+                resolved in async_names
+                or resolved in _AWAITABLE_FACTORIES
+            ):
+                yield self.finding(
+                    info.ctx,
+                    call,
+                    f"coroutine `{resolved}(...)` is never awaited — "
+                    "the call only builds the coroutine object; "
+                    "`await` it or schedule it with create_task",
+                )

@@ -13,6 +13,7 @@ from typing import Iterator, Union
 
 from repro.lint.base import FileContext, ProjectRule, register
 from repro.lint.findings import Finding
+from repro.lint.projectmodel import ProjectModel
 
 __all__ = ["ConfigDrift", "SchemaVersioning", "KNOWN_RESULT_SCHEMAS"]
 
@@ -67,9 +68,8 @@ class ConfigDrift(ProjectRule):
 
     CONFIG_CLASSES = ("SimulationConfig", "FailureModel", "AdversaryModel")
 
-    def check_project(
-        self, ctxs: list[FileContext]
-    ) -> Iterator[Finding]:
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        ctxs = project.ctxs
         config_ctx = _find_ctx(ctxs, "config.py")
         if config_ctx is None:
             return
@@ -210,9 +210,8 @@ class SchemaVersioning(ProjectRule):
     name = "schema-versioning"
     summary = "SimulationResult field-set changes must bump RESULT_FORMAT"
 
-    def check_project(
-        self, ctxs: list[FileContext]
-    ) -> Iterator[Finding]:
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        ctxs = project.ctxs
         results_ctx = _find_ctx(ctxs, "sim/results.py")
         persist_ctx = _find_ctx(ctxs, "sim/persistence.py")
         if results_ctx is None or persist_ctx is None:

@@ -12,10 +12,11 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.lint.base import FileContext, Rule, register
+from repro.lint.base import FileContext, ProjectRule, Rule, register
 from repro.lint.findings import Finding
+from repro.lint.projectmodel import FunctionInfo, ProjectModel
 
-__all__ = ["RngDiscipline", "NondeterminismHazard"]
+__all__ = ["RngDiscipline", "NondeterminismHazard", "RngStreamAliasing"]
 
 #: The one module allowed to construct generators from raw seeds.
 RNG_MODULE_TAIL = "util/rng.py"
@@ -394,3 +395,247 @@ class NondeterminismHazard(Rule):
                 f"`{node.func.id}(<set>)` materializes hash order — "
                 "use sorted(...) instead",
             )
+
+
+# ----------------------------------------------------------------------
+# R009: interprocedural RNG-stream aliasing
+# ----------------------------------------------------------------------
+
+#: Call names that mint a ``numpy.random.Generator``.
+_GENERATOR_FACTORIES = ("make_rng", "default_rng", "spawn_rng")
+
+
+def _tainted_rng_names(
+    info: FunctionInfo,
+) -> dict[str, int]:
+    """``{name: lineno}`` of local names holding a Generator: bare
+    assignments from a generator factory, plus parameters annotated
+    ``Generator``."""
+    tainted: dict[str, int] = {}
+    args = info.node.args
+    for param in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        ann = param.annotation
+        if ann is None:
+            continue
+        for sub in ast.walk(ann):
+            if (
+                isinstance(sub, ast.Name) and sub.id == "Generator"
+            ) or (
+                isinstance(sub, ast.Attribute) and sub.attr == "Generator"
+            ):
+                tainted[param.arg] = info.node.lineno
+                break
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        chain = _attr_chain(node.value.func)
+        if not chain or chain[-1] not in _GENERATOR_FACTORIES:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                tainted[target.id] = node.lineno
+    return tainted
+
+
+def _loops_containing(
+    info: FunctionInfo,
+) -> list[tuple[int, int]]:
+    """(lineno, end_lineno) span of every loop in the function body."""
+    spans = []
+    for node in ast.walk(info.node):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            spans.append(
+                (node.lineno, getattr(node, "end_lineno", node.lineno))
+            )
+    return spans
+
+
+@register
+class RngStreamAliasing(ProjectRule):
+    """R009: one Generator, one concurrent consumer.
+
+    A ``numpy.random.Generator`` is a mutable stream cursor: two
+    concurrent consumers drawing from the same instance interleave in
+    scheduling order, so a seeded run stops being a function of its
+    seed.  The per-file R001/R002 checks cannot see a generator *flow*
+    across function boundaries — R009 uses the project model's
+    dispatcher and sink-parameter analysis to follow it:
+
+    * a tainted name (assigned from ``make_rng``/``default_rng``/
+      ``spawn_rng``, or a ``Generator``-annotated parameter) appearing
+      in the payload of **more than one** concurrency dispatch
+      (``pool.submit``/``map``, ``create_task``, ``Thread(target=...,
+      args=...)``, ...) or forwarded into more than one function whose
+      matching parameter reaches such a dispatch;
+    * the same tainted name dispatched **inside a loop** whose body did
+      not create it — every iteration ships the *same* stream to
+      another concurrent consumer;
+    * **seed-stream reuse**: two generator-factory calls in one
+      function with byte-identical non-``None`` seed expressions mint
+      two cursors over one stream — the same numbers come out twice
+      (spawn children from a ``SeedSequence`` instead, as
+      ``run_trials``/``shard_seed_streams`` do).
+    """
+
+    rule_id = "R009"
+    name = "rng-stream-aliasing"
+    summary = (
+        "a Generator must not flow into more than one concurrent "
+        "consumer or reuse a seed stream"
+    )
+
+    SCOPE_DIRS = NondeterminismHazard.SCOPE_DIRS
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        sink_params = project.concurrent_sink_params()
+        for qualname in sorted(project.functions):
+            info = project.functions[qualname]
+            if not info.ctx.in_dirs(*self.SCOPE_DIRS):
+                continue
+            yield from self._check_aliasing(project, info, sink_params)
+            yield from self._check_seed_reuse(info)
+
+    # ------------------------------------------------------------------
+    def _consumption_events(
+        self,
+        project: ProjectModel,
+        info: FunctionInfo,
+        sink_params: dict,
+        tainted: dict[str, int],
+    ) -> list[tuple[str, ast.AST]]:
+        """Each ``(name, node)`` where a tainted generator is handed to
+        a concurrent consumer, in source order."""
+        events: list[tuple[str, ast.AST]] = []
+        dispatch_calls: set[int] = set()
+        for call, callables, payload in project.dispatch_sites(info):
+            dispatch_calls.add(id(call))
+            for arg in payload:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Name) and sub.id in tainted:
+                        events.append((sub.id, sub))
+            # a lambda handed to a dispatcher closes over the stream
+            for ref in callables:
+                if isinstance(ref, ast.Lambda):
+                    for sub in ast.walk(ref.body):
+                        if (
+                            isinstance(sub, ast.Name)
+                            and sub.id in tainted
+                        ):
+                            events.append((sub.id, sub))
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call) or id(node) in dispatch_calls:
+                continue
+            callee = project.resolve(info, node.func)
+            if callee not in project.functions:
+                continue
+            callee_info = project.functions[callee]
+            sinks = sink_params.get(callee, frozenset())
+            if not sinks:
+                continue
+            shift = (
+                1
+                if callee_info.class_name is not None
+                and isinstance(node.func, ast.Attribute)
+                else 0
+            )
+            for pos, arg in enumerate(node.args):
+                if not (
+                    isinstance(arg, ast.Name) and arg.id in tainted
+                ):
+                    continue
+                cp = callee_info.params
+                if pos + shift < len(cp) and cp[pos + shift] in sinks:
+                    events.append((arg.id, arg))
+            for kw in node.keywords:
+                if (
+                    kw.arg in sinks
+                    and isinstance(kw.value, ast.Name)
+                    and kw.value.id in tainted
+                ):
+                    events.append((kw.value.id, kw.value))
+        events.sort(
+            key=lambda e: (
+                getattr(e[1], "lineno", 0),
+                getattr(e[1], "col_offset", 0),
+            )
+        )
+        return events
+
+    def _check_aliasing(
+        self,
+        project: ProjectModel,
+        info: FunctionInfo,
+        sink_params: dict,
+    ) -> Iterator[Finding]:
+        tainted = _tainted_rng_names(info)
+        if not tainted:
+            return
+        events = self._consumption_events(
+            project, info, sink_params, tainted
+        )
+        loops = _loops_containing(info)
+        by_name: dict[str, list[ast.AST]] = {}
+        for name, node in events:
+            by_name.setdefault(name, []).append(node)
+        for name in sorted(by_name):
+            nodes = by_name[name]
+            if len(nodes) > 1:
+                for node in nodes[1:]:
+                    yield self.finding(
+                        info.ctx,
+                        node,
+                        f"generator `{name}` flows into multiple "
+                        "concurrent consumers — each consumer needs "
+                        "its own spawned stream (SeedSequence.spawn / "
+                        "spawn_seeds), or the interleaving order "
+                        "becomes part of the result",
+                    )
+                continue
+            node = nodes[0]
+            created = tainted[name]
+            line = getattr(node, "lineno", 0)
+            for lo, hi in loops:
+                if lo <= line <= hi and not (lo <= created <= hi):
+                    yield self.finding(
+                        info.ctx,
+                        node,
+                        f"generator `{name}` is dispatched to a "
+                        "concurrent consumer inside a loop but created "
+                        "outside it — every iteration shares one "
+                        "stream; mint a per-iteration generator from a "
+                        "spawned seed",
+                    )
+                    break
+
+    def _check_seed_reuse(self, info: FunctionInfo) -> Iterator[Finding]:
+        seen: dict[str, ast.Call] = {}
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if not chain or chain[-1] not in _GENERATOR_FACTORIES:
+                continue
+            if not node.args or node.keywords:
+                continue
+            seed_expr = node.args[0]
+            if (
+                isinstance(seed_expr, ast.Constant)
+                and seed_expr.value is None
+            ):
+                continue
+            key = ast.dump(seed_expr)
+            if key in seen:
+                yield self.finding(
+                    info.ctx,
+                    node,
+                    f"`{'.'.join(chain)}({ast.unparse(seed_expr)})` "
+                    "reuses a seed already consumed in "
+                    f"`{info.node.name}` — two generators over one "
+                    "seed stream emit identical draws; spawn child "
+                    "seeds instead (spawn_seeds / SeedSequence.spawn)",
+                )
+            else:
+                seen[key] = node
+        return

@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 renderer for lint reports.
+
+GitHub code scanning (and most SARIF viewers) ingest this directly, so
+findings annotate PR diffs instead of living in a CI log.  Like the
+``--json`` renderer, the output is a pure function of the report:
+findings are already sorted, keys are sorted, there are no timestamps,
+absolute paths, or tool-version strings that vary by machine — two runs
+over the same tree produce byte-identical SARIF.
+
+Only the minimal required subset of the (large) SARIF schema is
+emitted: one run, one tool driver ("reprolint") with per-rule metadata
+for the rules that actually ran, and one result per finding with a
+single physical location.  ``error``/``warning`` severities map onto
+SARIF levels of the same name.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.lint.base import all_rules
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import LintReport
+
+__all__ = ["render_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://json.schemastore.org/sarif-2.1.0.json"
+)
+
+
+def render_sarif(report: "LintReport") -> str:
+    """Deterministic SARIF 2.1.0 document for ``report``."""
+    by_id = {r.rule_id: r for r in all_rules()}
+    rules_meta: list[dict[str, Any]] = []
+    for rule_id in report.rules_run:
+        rule = by_id.get(rule_id)
+        if rule is None:
+            continue
+        rules_meta.append(
+            {
+                "id": rule_id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {
+                    "level": rule.severity.value
+                },
+            }
+        )
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": f.severity.value,
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in report.findings
+    ]
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -41,6 +41,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import sanitize
 from repro.chord.node import ChordNode
 from repro.errors import IdSpaceError, ProtocolError, TransientNetworkError
 from repro.hashspace.hashing import sha1_id
@@ -543,6 +544,13 @@ class LiveNode:
     async def start(self, bootstrap: Address | None = None) -> None:
         """Bind, create/join the ring, and launch the background tasks."""
         loop = asyncio.get_running_loop()
+        if sanitize.enabled():
+            # Blocked-loop watch (dynamic R007) + per-consumer stream
+            # claims: jitter and Sybil decisions each own a spawned
+            # stream; a future consumer grabbing either would alias.
+            sanitize.install_asyncio_watch(loop)
+            sanitize.track_rng(self._jitter_rng, f"node-jitter-{self.port}")
+            sanitize.track_rng(self._sybil_rng, f"node-sybil-{self.port}")
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="repro-net"
         )

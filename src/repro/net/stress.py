@@ -37,6 +37,7 @@ from typing import Any, Protocol
 
 import numpy as np
 
+from repro import sanitize
 from repro.config import SimulationConfig
 from repro.errors import ProtocolError, TransientNetworkError
 from repro.hashspace.idspace import IdSpace
@@ -380,13 +381,21 @@ async def run_stress(
     clock = time.perf_counter
     start = clock()
     deadline = start + config.duration
+    # One spawned stream per concurrent worker — never a shared
+    # generator (R009).  Under REPRO_SANITIZE=1 each stream is claimed
+    # by its worker and the loop watches for blocking callbacks.
+    worker_rngs = [make_rng(seed) for seed in worker_seeds]
+    if sanitize.enabled():
+        sanitize.install_asyncio_watch(asyncio.get_running_loop())
+        for i, rng in enumerate(worker_rngs):
+            sanitize.track_rng(rng, f"stress-worker-{i}")
     tasks = [
         asyncio.create_task(
             _worker(
                 i,
                 config,
                 keys,
-                make_rng(worker_seeds[i]),
+                worker_rngs[i],
                 outcome,
                 metrics,
                 trace,

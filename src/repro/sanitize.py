@@ -1,0 +1,276 @@
+"""Runtime determinism sanitizer (``REPRO_SANITIZE=1``).
+
+The static rules R007–R009 prove properties of the *source*; this
+module checks the same invariants on a *running* process, where dynamic
+dispatch, pickling, and scheduler interleavings live.  Everything here
+is dormant unless the ``REPRO_SANITIZE`` environment variable is ``1``:
+the guards read the flag at call time, so a test can flip it per-case,
+and the instrumented code paths cost one truthiness check when off —
+the obs-smoke zero-overhead budget still holds.
+
+Checks
+------
+
+* :func:`track_rng` — registers which logical owner a
+  ``numpy.random.Generator`` instance belongs to; a second owner
+  claiming the same ``BitGenerator`` is cross-consumer stream aliasing
+  (the dynamic face of R009) and raises :class:`SanitizeError`.
+* :func:`forbid_generators` — recursively scans a payload about to
+  cross a process boundary (a shard-worker task tuple) and raises if a
+  ``Generator`` is embedded: a pickled generator forks the stream state
+  silently, the classic "every worker draws the same numbers" bug.
+* :func:`check_shard_plan` — re-derives the disjointness contract of a
+  :class:`~repro.sim.shard.ShardPlan` before the fan-out: element
+  bounds must tile ``[0, n)`` monotonically, cut only on group starts,
+  and the CSR ``order`` must be a permutation — together that makes the
+  per-shard slab write ranges provably disjoint (the dynamic face of
+  R008).
+* :func:`maybe_guard` — context manager asserting a phase is RNG-free:
+  the guarded generator's state must be bit-identical on exit (the
+  sharded consumption phase promises exactly this).
+* :func:`install_asyncio_watch` — flips the loop into asyncio debug
+  mode with a tight ``slow_callback_duration`` and records every
+  "Executing ... took" complaint (the dynamic face of R007's
+  blocked-loop check).
+
+Violations both *raise* :class:`~repro.errors.SanitizeError` (for the
+checks with a raise site) and accumulate in :func:`reports`, which the
+smoke scripts assert empty; the asyncio watch only accumulates, since
+raising from a log handler would be swallowed by the loop.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+import os
+from typing import Any, Iterator, Union
+
+import numpy as np
+
+from repro.errors import SanitizeError
+
+__all__ = [
+    "ENV_FLAG",
+    "enabled",
+    "reset",
+    "reports",
+    "report_count",
+    "track_rng",
+    "forbid_generators",
+    "check_shard_plan",
+    "maybe_guard",
+    "install_asyncio_watch",
+]
+
+ENV_FLAG = "REPRO_SANITIZE"
+
+
+def enabled() -> bool:
+    """Whether the sanitizer is active (checked at every call site, so
+    tests and smoke scripts can toggle it mid-process)."""
+    return os.environ.get(ENV_FLAG, "") == "1"
+
+
+#: Violation messages, in detection order.
+_REPORTS: list[str] = []
+#: id(BitGenerator) -> (owner label, pid). Keyed on the BitGenerator so
+#: two Generator wrappers over one stream still collide.
+_RNG_OWNERS: dict[int, tuple[str, int]] = {}
+#: Strong references backing the id() keys above: without them a freed
+#: BitGenerator's address could be reissued to a fresh one and fake an
+#: aliasing hit.  Bounded by the number of tracked generators per run.
+_RNG_REFS: dict[int, Any] = {}
+#: Loops already switched into debug mode (guards double-install).
+_WATCHED_LOOPS: "set[int]" = set()
+_WATCH_HANDLER: Union[logging.Handler, None] = None
+
+
+def reset() -> None:
+    """Clear accumulated reports and ownership state (test isolation)."""
+    _REPORTS.clear()
+    _RNG_OWNERS.clear()
+    _RNG_REFS.clear()
+
+
+def reports() -> list[str]:
+    """Accumulated violation messages (copy)."""
+    return list(_REPORTS)
+
+
+def report_count() -> int:
+    return len(_REPORTS)
+
+
+def _violate(message: str) -> None:
+    _REPORTS.append(message)
+    raise SanitizeError(message)
+
+
+# ----------------------------------------------------------------------
+# RNG ownership (dynamic R009)
+# ----------------------------------------------------------------------
+def track_rng(rng: np.random.Generator, owner: str) -> None:
+    """Claim ``rng`` for ``owner``; a conflicting claim raises.
+
+    Owners are logical consumers ("tick-engine", "stress-worker-3",
+    "node-jitter"). Re-claiming by the same owner in the same process
+    is idempotent; a *different* owner on the same underlying
+    ``BitGenerator`` means two concurrent consumers share one stream
+    cursor.
+    """
+    if not enabled():
+        return
+    key = id(rng.bit_generator)
+    pid = os.getpid()
+    prior = _RNG_OWNERS.get(key)
+    if prior is not None and prior != (owner, pid) and prior[1] == pid:
+        _violate(
+            f"rng-aliasing: generator claimed by {owner!r} is already "
+            f"owned by {prior[0]!r} — one stream, two concurrent "
+            "consumers"
+        )
+    _RNG_OWNERS[key] = (owner, pid)
+    _RNG_REFS[key] = rng.bit_generator
+
+
+def forbid_generators(obj: Any, where: str, _depth: int = 0) -> None:
+    """Raise if a ``numpy.random.Generator`` (or ``SeedSequence``-less
+    ``BitGenerator``) hides anywhere inside ``obj``.
+
+    Used on shard-task payloads: a generator crossing a process
+    boundary is duplicated by pickling, so parent and worker then emit
+    identical "random" draws.
+    """
+    if not enabled() or _depth > 6:
+        return
+    if isinstance(obj, (np.random.Generator, np.random.BitGenerator)):
+        _violate(
+            f"generator-in-payload: a numpy Generator is embedded in "
+            f"{where} — pickling forks the stream state; ship a spawned "
+            "SeedSequence and build the generator worker-side"
+        )
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            forbid_generators(key, where, _depth + 1)
+            forbid_generators(value, where, _depth + 1)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            forbid_generators(item, where, _depth + 1)
+
+
+# ----------------------------------------------------------------------
+# shard-plan disjointness (dynamic R008)
+# ----------------------------------------------------------------------
+def check_shard_plan(
+    el_bounds: np.ndarray,
+    starts: np.ndarray,
+    order: np.ndarray,
+    n_elements: int,
+) -> None:
+    """Verify a shard plan's write ranges are a disjoint tiling.
+
+    ``el_bounds`` are the per-shard element offsets into the CSR
+    ``order`` array, ``starts`` the group start offsets.  The contract:
+    bounds run monotonically from 0 to ``n_elements``; every interior
+    cut lands exactly on a group start (no owner group straddles a
+    shard); and ``order`` is a permutation of ``[0, n)``.  Together
+    these guarantee the slab slots written by different shards are
+    disjoint sets.
+    """
+    if not enabled():
+        return
+    bounds = np.asarray(el_bounds)
+    if bounds.size < 2 or bounds[0] != 0 or bounds[-1] != n_elements:
+        _violate(
+            "shard-plan: element bounds do not tile [0, "
+            f"{n_elements}) — got {bounds.tolist()}"
+        )
+    if np.any(np.diff(bounds) < 0):
+        _violate(
+            f"shard-plan: element bounds not monotone: {bounds.tolist()}"
+        )
+    interior = bounds[1:-1]
+    legal_cuts = np.append(np.asarray(starts), n_elements)
+    if interior.size and not np.isin(interior, legal_cuts).all():
+        bad = interior[~np.isin(interior, legal_cuts)]
+        _violate(
+            "shard-plan: cut(s) inside an owner group at element "
+            f"offset(s) {bad.tolist()} — a group straddling shards "
+            "makes two workers write the same slots"
+        )
+    order_arr = np.asarray(order)
+    if order_arr.size != n_elements or (
+        n_elements
+        and not np.array_equal(
+            np.sort(order_arr), np.arange(n_elements, dtype=order_arr.dtype)
+        )
+    ):
+        _violate(
+            "shard-plan: CSR order is not a permutation of "
+            f"[0, {n_elements}) — duplicate or missing slots mean "
+            "overlapping shard writes"
+        )
+
+
+# ----------------------------------------------------------------------
+# RNG-free phase guard
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def maybe_guard(
+    rng: np.random.Generator, label: str
+) -> Iterator[None]:
+    """Assert no draw happens on ``rng`` inside the block.
+
+    The sharded consumption phase (and any future parallel phase)
+    promises to be RNG-free — that is *why* shard count cannot perturb
+    a trajectory.  The guard fingerprints the generator state before
+    and after; a mismatch means a draw leaked into the parallel phase.
+    No-op when the sanitizer is off.
+    """
+    if not enabled():
+        yield
+        return
+    before = repr(rng.bit_generator.state)
+    yield
+    after = repr(rng.bit_generator.state)
+    if before != after:
+        _violate(
+            f"rng-in-parallel-phase: generator state advanced inside "
+            f"{label} — this phase is contracted to be RNG-free; a "
+            "draw here makes results depend on scheduling"
+        )
+
+
+# ----------------------------------------------------------------------
+# asyncio blocked-loop watch (dynamic R007)
+# ----------------------------------------------------------------------
+class _AsyncioWatchHandler(logging.Handler):
+    """Captures asyncio debug-mode slow-callback complaints."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        message = record.getMessage()
+        if "Executing" in message and "took" in message:
+            _REPORTS.append(f"blocked-event-loop: {message}")
+
+
+def install_asyncio_watch(loop: Any, slow_callback_s: float = 0.5) -> None:
+    """Enable asyncio debug mode on ``loop`` and record slow callbacks.
+
+    Debug mode makes the loop time every callback and log a warning
+    when one exceeds ``slow_callback_duration`` — exactly the blocking
+    R007 hunts statically.  The warnings land in :func:`reports` (they
+    cannot raise: the loop swallows handler exceptions), and the smoke
+    scripts fail on a non-empty report list.  Idempotent per loop.
+    """
+    global _WATCH_HANDLER
+    if not enabled():
+        return
+    if id(loop) in _WATCHED_LOOPS:
+        return
+    loop.set_debug(True)
+    loop.slow_callback_duration = slow_callback_s
+    _WATCHED_LOOPS.add(id(loop))
+    if _WATCH_HANDLER is None:
+        _WATCH_HANDLER = _AsyncioWatchHandler(level=logging.WARNING)
+        logging.getLogger("asyncio").addHandler(_WATCH_HANDLER)

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import sanitize
 from repro.core.registry import make_strategy
 from repro.core.strategy import Strategy
 from repro.errors import RingEmptyError
@@ -99,6 +100,12 @@ class TickEngine:
         self._fast_kernel = fast_kernel(self.backend)
         self._grouped_kernel = grouped_kernel(self.backend)
         self.rng = rng if rng is not None else make_rng(config.seed)
+        if sanitize.enabled():
+            # Every engine claims the single global stream under one
+            # label: sequential engines may legitimately share it, but a
+            # concurrent consumer (a stress worker, a shard-local phase)
+            # claiming the same BitGenerator is stream aliasing.
+            sanitize.track_rng(self.rng, "tick-engine")
         self.space = IdSpace(config.bits)
         self.owners = OwnerRegistry(config, self.rng)
 

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from typing import Any
 
 # Sanctioned parallelism + shared memory: consumption workers mutate
 # disjoint slots and merge in fixed shard order (see module docstring);
@@ -59,6 +60,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro import sanitize
 from repro.config import SimulationConfig
 from repro.errors import ConfigError
 from repro.sim.engine import TickEngine
@@ -111,7 +113,7 @@ class ShardPlan:
 
     __slots__ = ("bounds", "el_bounds")
 
-    def __init__(self, bounds: np.ndarray, el_bounds: np.ndarray):
+    def __init__(self, bounds: np.ndarray, el_bounds: np.ndarray) -> None:
         self.bounds = bounds
         self.el_bounds = el_bounds
 
@@ -163,16 +165,19 @@ def plan_shards(
 _ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
 
 
-def _attach(name: str, size: int, dtype) -> np.ndarray:
+def _attach(name: str, size: int, dtype: np.dtype) -> np.ndarray:
     entry = _ATTACHED.get(name)
     if entry is None:
         if len(_ATTACHED) > 32:  # stale generations after slab growth
             for shm, _ in _ATTACHED.values():
                 shm.close()
-            _ATTACHED.clear()
+            # Per-process attachment cache: fork workers never share this
+            # dict (copy-on-write isolates each worker's copy), so the
+            # mutation R008 sees cannot race across processes.
+            _ATTACHED.clear()  # reprolint: disable=R008 (per-process cache)
         shm = shared_memory.SharedMemory(name=name)
         view = np.frombuffer(shm.buf, dtype=dtype)
-        _ATTACHED[name] = (shm, view)
+        _ATTACHED[name] = (shm, view)  # reprolint: disable=R008 (per-process cache)
     else:
         view = entry[1]
     return view[:size]
@@ -184,6 +189,11 @@ def _consume_shard(task: tuple) -> int:
     Mutates the shared ``counts`` segment in place on this shard's
     (disjoint) slot set and returns the shard's consumed total.
     """
+    if sanitize.enabled():
+        # A Generator in the task tuple would be duplicated by pickling
+        # (parent and worker then draw identical numbers); tasks carry
+        # only names, sizes, and offsets.
+        sanitize.forbid_generators(task, "shard worker task")
     (
         backend,
         counts_name,
@@ -267,7 +277,9 @@ class _ShmMirror:
             self.capacity = 0
 
 
-def _release_resources(pool, mirrors) -> None:
+def _release_resources(
+    pool: ProcessPoolExecutor | None, mirrors: "tuple[_ShmMirror, ...]"
+) -> None:
     """Module-level so ``weakref.finalize`` holds no engine reference."""
     if pool is not None:
         pool.shutdown(wait=True, cancel_futures=True)
@@ -291,8 +303,8 @@ class ShardedTickEngine(TickEngine):
         *,
         shards: int = 1,
         min_parallel_slots: int = DEFAULT_MIN_PARALLEL_SLOTS,
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> None:
         if shards < 1:
             raise ConfigError(f"shards must be >= 1, got {shards}")
         super().__init__(config, **kwargs)
@@ -340,7 +352,7 @@ class ShardedTickEngine(TickEngine):
     def __enter__(self) -> "ShardedTickEngine":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -391,8 +403,15 @@ class ShardedTickEngine(TickEngine):
             )
             for g_lo, g_hi, el_lo, el_hi in plan.chunks()
         ]
+        if sanitize.enabled():
+            sanitize.check_shard_plan(
+                plan.el_bounds, groups.starts, groups.order, n
+            )
         pool = self._ensure_pool()
-        # fixed-order merge: map() yields results in shard-index order
-        consumed = sum(pool.map(_consume_shard, tasks))
+        # fixed-order merge: map() yields results in shard-index order.
+        # The guard pins the phase's RNG-free contract: shard count can
+        # only leave trajectories untouched if no draw happens here.
+        with sanitize.maybe_guard(self.rng, "sharded consumption"):
+            consumed = sum(pool.map(_consume_shard, tasks))
         state.counts[:] = self._counts_shm.view(n)
         return int(consumed)

@@ -3,6 +3,7 @@ self-lint of the real tree, deterministic JSON output, suppressions."""
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -10,7 +11,7 @@ import pytest
 import repro
 from repro.cli import main as cli_main
 from repro.errors import LintError
-from repro.lint import all_rules, lint_paths, render_json
+from repro.lint import all_rules, lint_paths, render_json, render_sarif
 from repro.lint.rules_project import KNOWN_RESULT_SCHEMAS
 
 SRC_DIR = Path(repro.__file__).resolve().parent
@@ -34,9 +35,12 @@ def rule_ids(findings) -> set[str]:
 
 
 class TestRuleCatalogue:
-    def test_all_six_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         ids = [r.rule_id for r in all_rules()]
-        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+        assert ids == [
+            "R001", "R002", "R003", "R004", "R005", "R006",
+            "R007", "R008", "R009",
+        ]
 
     def test_unknown_rule_id_rejected(self, tmp_path):
         with pytest.raises(LintError):
@@ -373,6 +377,238 @@ class TestR006SchemaVersioning:
         assert any("KNOWN_RESULT_SCHEMAS" in f.message for f in findings)
 
 
+class TestR007AsyncDiscipline:
+    def test_fires_on_blocking_unawaited_and_dropped_task(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/net/server.py": (
+                    "import asyncio\n"
+                    "import time\n"
+                    "async def handler():\n"
+                    "    time.sleep(0.5)\n"
+                    "    asyncio.sleep(1.0)\n"
+                    "    asyncio.create_task(work())\n"
+                    "async def work():\n"
+                    "    await asyncio.sleep(0)\n"
+                    "def sync_block():\n"
+                    "    time.sleep(1)\n"
+                    "async def indirect():\n"
+                    "    sync_block()\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R007")
+        assert rule_ids(findings) == {"R007"}
+        assert len(findings) == 4
+        messages = "\n".join(f.message for f in findings)
+        assert "time.sleep" in messages          # direct blocking call
+        assert "never awaited" in messages       # bare asyncio.sleep(...)
+        assert "result dropped" in messages      # dropped create_task
+        assert "sync_block" in messages          # transitive blocking
+
+    def test_clean_executor_offload_awaits_and_kept_tasks(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/net/good.py": (
+                    "import asyncio\n"
+                    "import time\n"
+                    "async def handler(loop, tasks):\n"
+                    "    await asyncio.sleep(0.1)\n"
+                    "    await loop.run_in_executor(None, blocking_io)\n"
+                    "    tasks.append(asyncio.create_task(work()))\n"
+                    "async def work():\n"
+                    "    await asyncio.sleep(0)\n"
+                    "def blocking_io():\n"
+                    "    time.sleep(1)\n"
+                ),
+            },
+        )
+        assert run_rules(tmp_path, "R007") == []
+
+    def test_out_of_scope_async_is_ignored(self, tmp_path):
+        # R007 binds only net/ — async helpers elsewhere may block
+        write_tree(
+            tmp_path,
+            {
+                "repro/viz/anim.py": (
+                    "import time\n"
+                    "async def render():\n"
+                    "    time.sleep(1)\n"
+                ),
+            },
+        )
+        assert run_rules(tmp_path, "R007") == []
+
+
+class TestR008SharedStateHazard:
+    def test_fires_on_module_state_mutated_from_worker(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/shmod.py": (
+                    "_CACHE = {}\n"
+                    "def worker(task):\n"
+                    "    _CACHE[task] = 1\n"
+                    "    return 0\n"
+                    "def driver(pool, tasks):\n"
+                    "    return sum(pool.map(worker, tasks))\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R008")
+        assert rule_ids(findings) == {"R008"}
+        assert len(findings) == 1
+        assert "_CACHE" in findings[0].message
+
+    def test_fires_on_injected_out_of_partition_shm_write(self, tmp_path):
+        # Regression: a shard worker writing its shared-memory view
+        # directly (outside the blessed slab writer) is exactly the
+        # out-of-partition hazard the sharded engine's plan prevents.
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/shardlike.py": (
+                    "from multiprocessing import shared_memory\n"
+                    "import numpy as np\n"
+                    "def _consume_chunk(task):\n"
+                    "    name, lo, hi = task\n"
+                    "    shm = shared_memory.SharedMemory(name=name)\n"
+                    "    counts = np.frombuffer(shm.buf, dtype=np.int64)\n"
+                    "    counts[0] = 7\n"
+                    "    return hi - lo\n"
+                    "def run(pool, tasks):\n"
+                    "    return sum(pool.map(_consume_chunk, tasks))\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R008")
+        assert len(findings) == 1
+        assert "shared-memory" in findings[0].message
+        assert findings[0].line == 7
+
+    def test_clean_blessed_writer_and_unreachable_mutation(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                # the sanctioned slab writer may store into its view
+                "repro/sim/mirror.py": (
+                    "import numpy as np\n"
+                    "class _ShmMirror:\n"
+                    "    def write(self, shm, data):\n"
+                    "        view = np.frombuffer(shm.buf, dtype=np.int64)\n"
+                    "        view[: data.size] = data\n"
+                ),
+                # module state mutated only from sequential code
+                "repro/sim/seq.py": (
+                    "_MEMO = {}\n"
+                    "def remember(k, v):\n"
+                    "    _MEMO[k] = v\n"
+                ),
+            },
+        )
+        assert run_rules(tmp_path, "R008") == []
+
+
+class TestR009RngStreamAliasing:
+    def test_generator_shared_across_two_shard_workers(self, tmp_path):
+        # Regression: one Generator dispatched to two workers means both
+        # draw from the same stream cursor — results then depend on
+        # worker interleaving.
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/fan.py": (
+                    "from repro.util.rng import make_rng\n"
+                    "def fan_out(pool, seed):\n"
+                    "    rng = make_rng(seed)\n"
+                    "    a = pool.submit(job, rng)\n"
+                    "    b = pool.submit(job, rng)\n"
+                    "    return a, b\n"
+                    "def job(rng):\n"
+                    "    return rng.integers(10)\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R009")
+        assert rule_ids(findings) == {"R009"}
+        assert len(findings) == 1
+        assert findings[0].line == 5  # the second dispatch is the alias
+
+    def test_fires_on_loop_dispatch_and_seed_reuse(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/looped.py": (
+                    "from repro.util.rng import make_rng\n"
+                    "def loop_share(pool, seed):\n"
+                    "    rng = make_rng(seed)\n"
+                    "    for i in range(4):\n"
+                    "        pool.submit(job, rng)\n"
+                    "def seed_twice():\n"
+                    "    r1 = make_rng(123)\n"
+                    "    r2 = make_rng(123)\n"
+                    "    return r1, r2\n"
+                    "def job(rng):\n"
+                    "    return rng.integers(10)\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R009")
+        assert len(findings) == 2
+        messages = "\n".join(f.message for f in findings)
+        assert "loop" in messages
+        assert "seed" in messages
+
+    def test_fires_through_forwarding_helper(self, tmp_path):
+        # Interprocedural: the generator reaches two dispatch sites via
+        # helpers whose parameters are concurrent sinks.
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/fwd.py": (
+                    "from repro.util.rng import make_rng\n"
+                    "def forwarded(pool, seed):\n"
+                    "    rng = make_rng(seed)\n"
+                    "    helper(pool, rng)\n"
+                    "    helper2(pool, rng)\n"
+                    "def helper(pool, rng):\n"
+                    "    pool.submit(job, rng)\n"
+                    "def helper2(pool, rng):\n"
+                    "    pool.submit(job, rng)\n"
+                    "def job(rng):\n"
+                    "    return rng.integers(10)\n"
+                ),
+            },
+        )
+        findings = run_rules(tmp_path, "R009")
+        assert len(findings) >= 1
+        assert all(f.rule == "R009" for f in findings)
+
+    def test_clean_per_worker_spawned_streams(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/spawned.py": (
+                    "from repro.util.rng import make_rng\n"
+                    "def fan_out(pool, seeds):\n"
+                    "    rngs = [make_rng(seed) for seed in seeds]\n"
+                    "    futs = []\n"
+                    "    for i in range(len(rngs)):\n"
+                    "        futs.append(pool.submit(job, rngs[i]))\n"
+                    "    return futs\n"
+                    "def job(rng):\n"
+                    "    return rng.integers(10)\n"
+                    "def single(pool, seed):\n"
+                    "    rng = make_rng(seed)\n"
+                    "    return pool.submit(job, rng)\n"
+                ),
+            },
+        )
+        assert run_rules(tmp_path, "R009") == []
+
+
 class TestSuppressions:
     def test_line_suppression(self, tmp_path):
         write_tree(
@@ -434,6 +670,184 @@ class TestSuppressions:
         report = lint_paths([tmp_path], select=["R001"], root=tmp_path)
         assert len(report.findings) == 1
 
+    def test_multi_rule_inline_suppression(self, tmp_path):
+        # one line, two rules, one comment listing both ids
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/s.py": (
+                    "import time\n"
+                    "import numpy as np\n"
+                    "rng = np.random.default_rng(time.time())"
+                    "  # reprolint: disable=R001,R002 (demo)\n"
+                ),
+            },
+        )
+        report = lint_paths(
+            [tmp_path], select=["R001", "R002"], root=tmp_path
+        )
+        assert report.findings == []
+        assert report.n_suppressed == 2
+
+    def test_file_and_inline_suppressions_combine(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/s.py": (
+                    "# reprolint: disable-file=R002\n"
+                    "import time\n"
+                    "import random  # reprolint: disable=R001 (demo)\n"
+                    "t = time.time()\n"
+                ),
+            },
+        )
+        report = lint_paths(
+            [tmp_path], select=["R001", "R002"], root=tmp_path
+        )
+        assert report.findings == []
+        assert report.n_suppressed == 2
+
+    def test_suppression_inside_async_def(self, tmp_path):
+        # project-rule findings (R007 lives on the project pass) honor
+        # inline suppressions at the reported line like per-file rules
+        write_tree(
+            tmp_path,
+            {
+                "repro/net/s.py": (
+                    "import time\n"
+                    "async def handler():\n"
+                    "    time.sleep(0.1)"
+                    "  # reprolint: disable=R007 (demo)\n"
+                ),
+            },
+        )
+        report = lint_paths([tmp_path], select=["R007"], root=tmp_path)
+        assert report.findings == []
+        assert report.n_suppressed == 1
+
+
+class TestSkipDirs:
+    def test_tool_caches_and_venvs_are_not_walked(self, tmp_path):
+        bad = "import random\n"
+        write_tree(
+            tmp_path,
+            {
+                "repro/sim/good.py": "x = 1\n",
+                ".venv/lib/pkg.py": bad,
+                ".mypy_cache/3.11/pkg.py": bad,
+                ".ruff_cache/0.1/pkg.py": bad,
+                "__pycache__/pkg.py": bad,
+            },
+        )
+        report = lint_paths([tmp_path], root=tmp_path)
+        assert report.findings == []
+        assert report.n_files == 1
+
+
+class TestLintCache:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_LINT_CACHE_DIR", str(tmp_path / "lint-cache")
+        )
+        monkeypatch.delenv("REPRO_LINT_CACHE", raising=False)
+
+    TREE = {
+        "repro/sim/bad.py": "import random\nimport time\nt = time.time()\n",
+    }
+
+    def test_hit_is_byte_identical_and_flagged(self, tmp_path):
+        root = write_tree(tmp_path / "t", self.TREE)
+        first = lint_paths([root], root=root)
+        second = lint_paths([root], root=root)
+        assert not first.from_cache
+        assert second.from_cache
+        assert render_json(first) == render_json(second)
+        assert render_sarif(first) == render_sarif(second)
+        assert first.exit_code == second.exit_code == 1
+        assert first.n_files == second.n_files
+        assert first.n_suppressed == second.n_suppressed
+
+    def test_source_change_misses(self, tmp_path):
+        root = write_tree(tmp_path / "t", self.TREE)
+        lint_paths([root], root=root)
+        (root / "repro/sim/bad.py").write_text("import random\n")
+        report = lint_paths([root], root=root)
+        assert not report.from_cache
+        assert len(report.findings) == 1
+
+    def test_rule_selection_misses(self, tmp_path):
+        root = write_tree(tmp_path / "t", self.TREE)
+        lint_paths([root], root=root)
+        report = lint_paths([root], select=["R001"], root=root)
+        assert not report.from_cache
+        assert len(report.findings) == 1
+
+    def test_env_kill_switch_and_cache_kwarg(self, tmp_path, monkeypatch):
+        root = write_tree(tmp_path / "t", self.TREE)
+        lint_paths([root], root=root)
+        assert lint_paths([root], root=root, cache=False).from_cache is False
+        monkeypatch.setenv("REPRO_LINT_CACHE", "0")
+        assert lint_paths([root], root=root).from_cache is False
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        root = write_tree(tmp_path / "t", self.TREE)
+        lint_paths([root], root=root)
+        cache_dir = tmp_path / "lint-cache"
+        entries = list(cache_dir.rglob("*.json"))
+        assert entries
+        for entry in entries:
+            entry.write_text("{ not json")
+        report = lint_paths([root], root=root)
+        assert not report.from_cache
+        assert report.exit_code == 1
+
+
+class TestSarifOutput:
+    def test_sarif_is_byte_stable_and_well_formed(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {"repro/sim/bad.py": "import random\nimport time\nt = time.time()\n"},
+        )
+        first = render_sarif(lint_paths([root], root=root, cache=False))
+        second = render_sarif(lint_paths([root], root=root, cache=False))
+        assert first == second
+        doc = json.loads(first)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        levels = {r["level"] for r in run["results"]}
+        assert levels <= {"error", "warning", "note"}
+        locations = run["results"][0]["locations"][0]
+        region = locations["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        rule_meta = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {r["ruleId"] for r in run["results"]} <= rule_meta
+
+    def test_cli_format_sarif(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            {"repro/sim/bad.py": "import random\n"},
+        )
+        code = cli_main(
+            ["lint", str(tmp_path), "--format", "sarif", "--no-cache"]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"][0]["ruleId"] == "R001"
+
+    def test_cli_format_json_matches_legacy_alias(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            {"repro/sim/bad.py": "import random\n"},
+        )
+        cli_main(["lint", str(tmp_path), "--json", "--no-cache"])
+        legacy = capsys.readouterr().out
+        cli_main(["lint", str(tmp_path), "--format", "json", "--no-cache"])
+        modern = capsys.readouterr().out
+        assert legacy == modern
+        assert json.loads(legacy)["format"] == "repro.lint_report.v1"
+
 
 class TestOutOfRootLabels:
     def test_directory_scoped_rules_apply_outside_root(self, tmp_path):
@@ -491,5 +905,8 @@ class TestSelfLintAndDeterminism:
     def test_list_rules(self, capsys):
         assert cli_main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rid in ("R001", "R002", "R003", "R004", "R005", "R006"):
+        for rid in (
+            "R001", "R002", "R003", "R004", "R005", "R006",
+            "R007", "R008", "R009",
+        ):
             assert rid in out

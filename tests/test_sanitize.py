@@ -1,0 +1,207 @@
+"""Runtime determinism sanitizer (``repro.sanitize``): the env toggle,
+RNG ownership tracking, payload scanning, shard-plan disjointness,
+RNG-free phase guards, the asyncio watch, and end-to-end proof that a
+sanitized sharded trial stays bit-identical to a plain one."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro import sanitize
+from repro.config import SimulationConfig
+from repro.errors import SanitizeError
+from repro.obs import result_fingerprint
+from repro.sim.trials import run_trial
+from repro.util.rng import make_rng
+
+CONFIG = SimulationConfig(
+    strategy="invitation",
+    n_nodes=40,
+    n_tasks=1500,
+    churn_rate=0.02,
+    seed=11,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_state(monkeypatch):
+    monkeypatch.delenv(sanitize.ENV_FLAG, raising=False)
+    sanitize.reset()
+    yield
+    sanitize.reset()
+
+
+def arm(monkeypatch):
+    monkeypatch.setenv(sanitize.ENV_FLAG, "1")
+
+
+class TestToggle:
+    def test_disabled_by_default(self):
+        assert not sanitize.enabled()
+
+    def test_env_flag_read_per_call(self, monkeypatch):
+        arm(monkeypatch)
+        assert sanitize.enabled()
+        monkeypatch.setenv(sanitize.ENV_FLAG, "0")
+        assert not sanitize.enabled()
+
+    def test_checks_are_inert_when_off(self):
+        rng = make_rng(1)
+        sanitize.track_rng(rng, "a")
+        sanitize.track_rng(rng, "b")  # would raise when armed
+        sanitize.forbid_generators((rng,), "payload")
+        with sanitize.maybe_guard(rng, "phase"):
+            rng.integers(10)  # a draw: would raise when armed
+        assert sanitize.report_count() == 0
+
+
+class TestTrackRng:
+    def test_conflicting_owner_raises_and_reports(self, monkeypatch):
+        arm(monkeypatch)
+        rng = make_rng(1)
+        sanitize.track_rng(rng, "tick-engine")
+        with pytest.raises(SanitizeError, match="rng-aliasing"):
+            sanitize.track_rng(rng, "stress-worker-0")
+        assert sanitize.report_count() == 1
+        assert "tick-engine" in sanitize.reports()[0]
+
+    def test_same_owner_is_idempotent(self, monkeypatch):
+        arm(monkeypatch)
+        rng = make_rng(1)
+        sanitize.track_rng(rng, "tick-engine")
+        sanitize.track_rng(rng, "tick-engine")
+        assert sanitize.report_count() == 0
+
+    def test_distinct_streams_coexist(self, monkeypatch):
+        arm(monkeypatch)
+        sanitize.track_rng(make_rng(1), "a")
+        sanitize.track_rng(make_rng(1), "b")  # same seed, own stream
+        assert sanitize.report_count() == 0
+
+    def test_two_wrappers_over_one_bit_generator_collide(self, monkeypatch):
+        arm(monkeypatch)
+        rng = make_rng(1)
+        alias = np.random.Generator(rng.bit_generator)
+        sanitize.track_rng(rng, "a")
+        with pytest.raises(SanitizeError):
+            sanitize.track_rng(alias, "b")
+
+    def test_reset_clears_ownership(self, monkeypatch):
+        arm(monkeypatch)
+        rng = make_rng(1)
+        sanitize.track_rng(rng, "a")
+        sanitize.reset()
+        sanitize.track_rng(rng, "b")
+        assert sanitize.report_count() == 0
+
+
+class TestForbidGenerators:
+    def test_nested_generator_raises(self, monkeypatch):
+        arm(monkeypatch)
+        task = ("shm-name", 0, 4, {"rng": make_rng(3)})
+        with pytest.raises(SanitizeError, match="generator-in-payload"):
+            sanitize.forbid_generators(task, "shard worker task")
+
+    def test_bit_generator_also_raises(self, monkeypatch):
+        arm(monkeypatch)
+        with pytest.raises(SanitizeError):
+            sanitize.forbid_generators([make_rng(3).bit_generator], "task")
+
+    def test_clean_payload_passes(self, monkeypatch):
+        arm(monkeypatch)
+        sanitize.forbid_generators(
+            ("name", 0, 4, np.arange(3), {"k": [1, 2]}), "task"
+        )
+        assert sanitize.report_count() == 0
+
+
+class TestCheckShardPlan:
+    GOOD = dict(
+        el_bounds=np.array([0, 4, 8]),
+        starts=np.array([0, 2, 4, 6]),
+        order=np.arange(8),
+        n_elements=8,
+    )
+
+    def test_good_plan_passes(self, monkeypatch):
+        arm(monkeypatch)
+        sanitize.check_shard_plan(**self.GOOD)
+        assert sanitize.report_count() == 0
+
+    def test_bounds_must_tile(self, monkeypatch):
+        arm(monkeypatch)
+        bad = {**self.GOOD, "el_bounds": np.array([0, 4, 7])}
+        with pytest.raises(SanitizeError, match="tile"):
+            sanitize.check_shard_plan(**bad)
+
+    def test_cut_inside_group_raises(self, monkeypatch):
+        arm(monkeypatch)
+        bad = {**self.GOOD, "el_bounds": np.array([0, 3, 8])}
+        with pytest.raises(SanitizeError, match="straddling"):
+            sanitize.check_shard_plan(**bad)
+
+    def test_order_must_be_permutation(self, monkeypatch):
+        arm(monkeypatch)
+        order = np.arange(8)
+        order[0] = 1  # duplicate slot
+        bad = {**self.GOOD, "order": order}
+        with pytest.raises(SanitizeError, match="permutation"):
+            sanitize.check_shard_plan(**bad)
+
+
+class TestMaybeGuard:
+    def test_draw_inside_guard_raises(self, monkeypatch):
+        arm(monkeypatch)
+        rng = make_rng(5)
+        with pytest.raises(SanitizeError, match="rng-in-parallel-phase"):
+            with sanitize.maybe_guard(rng, "sharded consumption"):
+                rng.integers(10)
+
+    def test_rng_free_block_passes(self, monkeypatch):
+        arm(monkeypatch)
+        rng = make_rng(5)
+        with sanitize.maybe_guard(rng, "sharded consumption"):
+            sum(range(10))
+        assert sanitize.report_count() == 0
+
+
+class TestAsyncioWatch:
+    def test_blocking_callback_is_reported(self, monkeypatch):
+        arm(monkeypatch)
+
+        async def blocky():
+            loop = asyncio.get_running_loop()
+            sanitize.install_asyncio_watch(loop, slow_callback_s=0.05)
+            await asyncio.sleep(0)
+            time.sleep(0.2)  # deliberately stall the loop
+            await asyncio.sleep(0)
+
+        asyncio.run(blocky())
+        assert any(
+            "blocked-event-loop" in msg for msg in sanitize.reports()
+        )
+
+    def test_off_means_no_debug_flip(self):
+        async def probe():
+            loop = asyncio.get_running_loop()
+            sanitize.install_asyncio_watch(loop)
+            return loop.get_debug()
+
+        assert asyncio.run(probe()) is False
+
+
+@pytest.mark.slow
+class TestSanitizedTrials:
+    def test_sharded_trial_bit_identical_under_sanitizer(self, monkeypatch):
+        plain = result_fingerprint(run_trial(CONFIG))
+        arm(monkeypatch)
+        sanitized = result_fingerprint(run_trial(CONFIG))
+        sharded = result_fingerprint(
+            run_trial(CONFIG, shards=2, min_parallel_slots=1)
+        )
+        assert plain == sanitized == sharded
+        assert sanitize.report_count() == 0
