@@ -10,8 +10,8 @@ BENCH_TICK_CURRENT  := benchmarks/.bench_tick_current.json
 
 .PHONY: test lint typecheck bench bench-baseline bench-check \
 	bench-tick bench-tick-baseline bench-tick-check \
-	sweep-resume-check obs-smoke net-smoke adv-smoke sanitize-smoke \
-	check figures
+	sweep-resume-check fabric-smoke obs-smoke net-smoke adv-smoke \
+	sanitize-smoke check figures
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -64,6 +64,12 @@ bench-tick-check: bench-tick
 sweep-resume-check:
 	$(PYTHON) scripts/sweep_resume_check.py
 
+# distributed trial fabric end-to-end: serial baseline vs `repro fabric
+# run` with a socket-attached worker SIGKILLed mid-lease, plus a broker
+# SIGKILL + resume — both byte-identical (see scripts/fabric_smoke.py)
+fabric-smoke:
+	$(PYTHON) scripts/fabric_smoke.py
+
 # run a tiny traced+profiled simulation, assert the JSONL parses and
 # that results are bit-identical with observability on or off
 obs-smoke:
@@ -91,10 +97,11 @@ sanitize-smoke:
 	REPRO_SANITIZE=1 $(PYTHON) scripts/net_smoke.py
 
 # the full tier-1 gate: static analysis, unit/property tests, perf
-# regression, resume, observability, live serving, adversary plane,
-# sanitized smokes
+# regression, resume, trial fabric, observability, live serving,
+# adversary plane, sanitized smokes
 check: lint typecheck test bench-check bench-tick-check \
-	sweep-resume-check obs-smoke net-smoke adv-smoke sanitize-smoke
+	sweep-resume-check fabric-smoke obs-smoke net-smoke adv-smoke \
+	sanitize-smoke
 
 figures:
 	$(PYTHON) -m repro.cli figures --out figures/

@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the distributed trial fabric.
+
+Three legs, all against the same small sweep grid, all demanding the
+byte-identity contract (``make fabric-smoke``, blocking in CI):
+
+1. **Baseline** — serial ``repro sweep --jobs 1`` against a fresh cache
+   → ``baseline.json``.
+2. **Worker attach + kill** — ``repro fabric run --jobs 2 --listen`` on
+   a fresh cache with an injected per-trial delay; a ``repro fabric
+   worker`` process attaches mid-sweep, and the moment the status file
+   shows it holding a lease it is SIGKILLed.  The broker must absorb the
+   loss (lease expiry → requeue) and still produce a sweep document
+   byte-identical to the baseline.
+3. **Broker kill + resume** — ``repro fabric run`` on a fresh cache is
+   SIGKILLed mid-grid; re-running the same command against the
+   interrupted cache recomputes only the missing units and must again be
+   byte-identical to the baseline.
+
+Exit status 0 on success; non-zero with a diagnostic otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+GRID_ARGS = [
+    "--field", "churn_rate",
+    "--values", "0,0.01",
+    "--nodes", "60",
+    "--tasks", "3000",
+    "--trials", "4",
+    "--seed", "11",
+]
+
+READY_PREFIX = "REPRO-FABRIC-READY "
+
+
+def env_for(cache_dir: Path, delay_ms: int = 0) -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["REPRO_CACHE"] = "1"
+    if delay_ms:
+        env["REPRO_TRIAL_DELAY_MS"] = str(delay_ms)
+    else:
+        env.pop("REPRO_TRIAL_DELAY_MS", None)
+    return env
+
+
+def cli(*args: str) -> list[str]:
+    return [sys.executable, "-m", "repro.cli", *args]
+
+
+def cached_trials(cache_dir: Path) -> int:
+    return len(
+        [
+            p
+            for p in (cache_dir / "trials").glob("*/*.json")
+            if not p.name.startswith(".tmp-")
+        ]
+    )
+
+
+def read_ready_line(proc: subprocess.Popen, deadline_s: float = 60) -> dict:
+    """Parse the broker's REPRO-FABRIC-READY banner from stdout."""
+    deadline = time.time() + deadline_s
+    assert proc.stdout is not None
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError("broker exited before printing READY")
+        if line.startswith(READY_PREFIX):
+            return json.loads(line[len(READY_PREFIX):])
+    raise RuntimeError("no READY line before deadline")
+
+
+def wait_for_remote_lease(status_file: Path, deadline_s: float = 60) -> None:
+    """Poll the broker's status file until a remote worker holds work."""
+    deadline = time.time() + deadline_s
+    while time.time() < deadline:
+        try:
+            doc = json.loads(status_file.read_text())
+        except (FileNotFoundError, ValueError):
+            time.sleep(0.05)
+            continue
+        counters = doc.get("metrics", {}).get("counters", {})
+        if counters.get("fabric.remote_leases", 0) >= 1:
+            return
+        time.sleep(0.05)
+    raise RuntimeError("worker never leased a unit before the deadline")
+
+
+def check_identical(candidate: Path, baseline: Path, label: str) -> bool:
+    if candidate.read_bytes() != baseline.read_bytes():
+        print(f"FAIL: {label} is not byte-identical to the baseline")
+        return False
+    return True
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-fabric-") as tmp:
+        tmp_path = Path(tmp)
+        baseline = tmp_path / "baseline.json"
+        attach_out = tmp_path / "attach.json"
+        resume_out = tmp_path / "resumed.json"
+        cache_a = tmp_path / "cache_baseline"
+        cache_b = tmp_path / "cache_attach"
+        cache_c = tmp_path / "cache_killed"
+        status_file = tmp_path / "status.json"
+
+        print("[1/3] serial baseline sweep ...")
+        subprocess.run(
+            cli("sweep", *GRID_ARGS, "--jobs", "1", "--out", str(baseline)),
+            env=env_for(cache_a), check=True, cwd=REPO, timeout=300,
+        )
+
+        print("[2/3] fabric run + worker attach, kill the worker ...")
+        broker = subprocess.Popen(
+            cli(
+                "fabric", "run", *GRID_ARGS,
+                "--jobs", "2",
+                "--listen", "127.0.0.1:0",
+                "--lease-timeout", "2",
+                "--status-file", str(status_file),
+                "--out", str(attach_out),
+            ),
+            env=env_for(cache_b, delay_ms=300),
+            cwd=REPO, stdout=subprocess.PIPE, text=True,
+        )
+        worker = None
+        try:
+            ready = read_ready_line(broker)
+            addr = f"{ready['host']}:{ready['port']}"
+            print(f"      broker ready on {addr} ({ready['units']} units)")
+            worker = subprocess.Popen(
+                cli("fabric", "worker", "--connect", addr, "--name", "smoke"),
+                env=env_for(cache_b, delay_ms=300), cwd=REPO,
+            )
+            wait_for_remote_lease(status_file)
+            worker.send_signal(signal.SIGKILL)
+            worker.wait(timeout=30)
+            print("      worker killed mid-lease; waiting for the broker ...")
+            broker.wait(timeout=300)
+        finally:
+            for proc in (worker, broker):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+        if broker.returncode != 0:
+            print(f"FAIL: broker exited {broker.returncode} after worker kill")
+            return 1
+        if not check_identical(attach_out, baseline, "worker-kill run"):
+            return 1
+        status = json.loads(status_file.read_text())
+        counters = status.get("metrics", {}).get("counters", {})
+        if counters.get("fabric.remote_leases", 0) < 1:
+            print("FAIL: no remote lease recorded in the final status")
+            return 1
+        print(
+            "      OK: byte-identical with "
+            f"{counters.get('fabric.remote_leases', 0)} remote lease(s), "
+            f"{counters.get('fabric.lease_expired', 0)} expired"
+        )
+
+        print("[3/3] fabric run, SIGKILL the broker mid-grid, resume ...")
+        # own session so the kill takes the whole process group: a
+        # SIGKILLed pool parent cannot reap its spawn workers, which
+        # would otherwise block forever on the shared call-queue pipe
+        proc = subprocess.Popen(
+            cli(
+                "fabric", "run", *GRID_ARGS,
+                "--jobs", "2",
+                "--out", str(tmp_path / "ignored.json"),
+            ),
+            env=env_for(cache_c, delay_ms=300), cwd=REPO,
+            start_new_session=True,
+        )
+        total = cached_trials(cache_a)
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if cached_trials(cache_c) >= max(2, total // 4):
+                break
+            if proc.poll() is not None:
+                print("FAIL: fabric run finished before the kill; raise "
+                      "the trial count or delay")
+                return 1
+            time.sleep(0.05)
+        else:
+            os.killpg(proc.pid, signal.SIGKILL)
+            print("FAIL: no trials cached before the deadline")
+            return 1
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        partial = cached_trials(cache_c)
+        if not 0 < partial < total:
+            print(f"FAIL: kill did not land midway ({partial}/{total})")
+            return 1
+        print(f"      broker killed with {partial}/{total} trials cached")
+        subprocess.run(
+            cli(
+                "fabric", "run", *GRID_ARGS,
+                "--jobs", "2",
+                "--out", str(resume_out),
+            ),
+            env=env_for(cache_c), check=True, cwd=REPO, timeout=300,
+        )
+        if not check_identical(resume_out, baseline, "resumed fabric run"):
+            return 1
+        print(
+            f"OK: fabric smoke passed — worker-kill and broker-kill runs "
+            f"both byte-identical to the serial baseline "
+            f"({baseline.stat().st_size} bytes)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

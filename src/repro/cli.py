@@ -227,6 +227,105 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--retries", type=int, default=1)
     sweep_p.add_argument("--timeout", type=float, default=None)
 
+    fab_p = sub.add_parser(
+        "fabric",
+        help="distributed trial fabric: broker, attachable workers, status",
+    )
+    fab_sub = fab_p.add_subparsers(dest="fabric_command", required=True)
+
+    fab_run = fab_sub.add_parser(
+        "run",
+        help="run a sweep grid under a fabric broker (resumable; "
+        "workers may attach mid-sweep)",
+    )
+    fab_run.add_argument(
+        "--field", required=True, help="SimulationConfig field to vary"
+    )
+    fab_run.add_argument(
+        "--values", required=True,
+        help="comma-separated values (JSON literals: 0.01, 1000, ...)",
+    )
+    fab_run.add_argument("--trials", type=int, default=3)
+    fab_run.add_argument("--strategy", choices=STRATEGY_NAMES, default="none")
+    fab_run.add_argument("--nodes", type=int, default=1000)
+    fab_run.add_argument("--tasks", type=int, default=100_000)
+    fab_run.add_argument("--churn", type=float, default=0.0)
+    fab_run.add_argument("--seed", type=int, default=0)
+    fab_run.add_argument(
+        "--jobs", type=int, default=0,
+        help="local worker processes (0 = auto, honors REPRO_N_JOBS; "
+        "1 = in-process)",
+    )
+    fab_run.add_argument("--out", type=Path, default=None,
+                         help="persist every TrialSet to this JSON file")
+    fab_run.add_argument(
+        "--crn", action="store_true",
+        help="common random numbers: reuse identical trial seeds at "
+        "every sweep point (variance reduction; off by default)",
+    )
+    fab_run.add_argument("--no-cache", action="store_true")
+    fab_run.add_argument("--retries", type=int, default=1)
+    fab_run.add_argument("--timeout", type=float, default=None)
+    fab_run.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="accept remote `repro fabric worker` processes here "
+        "(port 0 = ephemeral; the bound address is printed on a "
+        "REPRO-FABRIC-READY line)",
+    )
+    fab_run.add_argument(
+        "--lease-timeout", type=float, default=120.0,
+        help="seconds before a silent remote worker's unit is requeued",
+    )
+    fab_run.add_argument(
+        "--status-file", type=Path, default=None,
+        help="live status JSON path (default: <cache dir>/"
+        "fabric-status.json)",
+    )
+
+    fab_worker = fab_sub.add_parser(
+        "worker", help="attach to a broker and run trials until told to stop"
+    )
+    fab_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="broker attach address (from its REPRO-FABRIC-READY line)",
+    )
+    fab_worker.add_argument(
+        "--name", default=None, help="worker name (default: worker-<pid>)"
+    )
+    fab_worker.add_argument(
+        "--poll", type=float, default=0.5,
+        help="seconds between lease attempts while the queue is empty",
+    )
+    fab_worker.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes per trial (see repro.sim.shard)",
+    )
+    fab_worker.add_argument(
+        "--backend", choices=["numpy", "numba"], default=None,
+        help="consumption kernel backend (default: numpy)",
+    )
+    fab_worker.add_argument(
+        "--max-units", type=int, default=None,
+        help="exit after settling this many units (testing hook)",
+    )
+
+    fab_status = fab_sub.add_parser(
+        "status", help="show a broker's live queue/progress counters"
+    )
+    fab_status.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="query a listening broker directly over its attach socket",
+    )
+    fab_status.add_argument(
+        "--status-file", type=Path, default=None,
+        help="read this status JSON (default: <cache dir>/"
+        "fabric-status.json)",
+    )
+    fab_status.add_argument(
+        "--json", action="store_true",
+        help="emit the raw status document instead of a table",
+    )
+
     cache_p = sub.add_parser(
         "cache", help="show or clear the content-addressed trial cache"
     )
@@ -584,39 +683,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _parse_sweep_values(spec: str) -> list:
+    """Comma-separated JSON literals (bare words fall back to strings)."""
     import json as _json
 
-    from repro.sim.persistence import save_sweep
-    from repro.sim.trials import reset_run_stats, run_stats, sweep
-    from repro.util.tables import format_table
-
     values = []
-    for item in args.values.split(","):
+    for item in spec.split(","):
         item = item.strip()
         try:
             values.append(_json.loads(item))
         except _json.JSONDecodeError:
             values.append(item)
-    base = SimulationConfig(
+    return values
+
+
+def _sweep_base_config(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
         strategy=args.strategy,
         n_nodes=args.nodes,
         n_tasks=args.tasks,
         churn_rate=args.churn,
         seed=args.seed,
     )
-    reset_run_stats()
-    t0 = time.perf_counter()
-    sets = sweep(
-        base,
-        args.field,
-        values,
-        args.trials,
-        n_jobs=args.jobs,
-        common_random_numbers=args.crn,
-        retries=args.retries,
-        timeout=args.timeout,
-    )
+
+
+def _print_sweep_result(args, values, sets, t0) -> int:
+    from repro.sim.persistence import save_sweep
+    from repro.sim.trials import run_stats
+    from repro.util.tables import format_table
+
     rows = [
         [value, ts.config.seed, ts.n_trials, ts.mean_factor]
         for value, ts in zip(values, sets)
@@ -636,6 +731,159 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.out:
         path = save_sweep(sets, args.out)
         print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.trials import reset_run_stats, sweep
+
+    values = _parse_sweep_values(args.values)
+    base = _sweep_base_config(args)
+    reset_run_stats()
+    t0 = time.perf_counter()
+    sets = sweep(
+        base,
+        args.field,
+        values,
+        args.trials,
+        n_jobs=args.jobs,
+        common_random_numbers=args.crn,
+        retries=args.retries,
+        timeout=args.timeout,
+    )
+    return _print_sweep_result(args, values, sets, t0)
+
+
+#: Line prefix `repro fabric run --listen` prints once its attach socket
+#: is bound, followed by a JSON object with host/port/status_file —
+#: orchestration scripts (scripts/fabric_smoke.py) wait for it exactly
+#: like net_smoke waits for REPRO-SERVE-READY.
+FABRIC_READY_PREFIX = "REPRO-FABRIC-READY "
+
+
+def _default_status_file() -> Path:
+    from repro.sim.cache import default_cache_dir
+
+    return default_cache_dir() / "fabric-status.json"
+
+
+def _cmd_fabric_run(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.fabric.broker import Broker
+    from repro.net.transport import parse_address
+    from repro.sim.trials import reset_run_stats, sweep_grid
+
+    values = _parse_sweep_values(args.values)
+    base = _sweep_base_config(args)
+    grid = sweep_grid(
+        base, args.field, values, args.trials, common_random_numbers=args.crn
+    )
+    status_path = args.status_file or _default_status_file()
+    listen = parse_address(args.listen) if args.listen else None
+    reset_run_stats()
+    t0 = time.perf_counter()
+    broker = Broker(
+        grid,
+        n_jobs=args.jobs,
+        retries=args.retries,
+        timeout=args.timeout,
+        listen=listen,
+        lease_timeout=args.lease_timeout,
+        status_path=status_path,
+    )
+    if listen is not None:
+        bound = broker.open_listener()
+        print(
+            FABRIC_READY_PREFIX
+            + _json.dumps(
+                {
+                    "host": bound[0],
+                    "port": bound[1],
+                    "status_file": str(status_path),
+                    "units": len(broker.queue),
+                },
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+    sets = broker.run()
+    return _print_sweep_result(args, values, sets, t0)
+
+
+def _cmd_fabric_worker(args: argparse.Namespace) -> int:
+    from repro.errors import TransientNetworkError
+    from repro.fabric.worker import run_worker
+    from repro.net.transport import parse_address
+    from repro.sim.trials import make_trial_fn
+
+    addr = parse_address(args.connect)
+    trial_fn = make_trial_fn(backend=args.backend, shards=args.shards)
+    try:
+        summary = run_worker(
+            addr,
+            name=args.name,
+            trial_fn=trial_fn,
+            poll_interval=args.poll,
+            max_units=args.max_units,
+        )
+    except TransientNetworkError as exc:
+        print(f"fabric worker: broker unreachable: {exc}", file=sys.stderr)
+        return 1
+    print(f"fabric worker: {summary.summary_line()}")
+    return 0
+
+
+def _cmd_fabric_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.errors import ProtocolError, TransientNetworkError
+    from repro.util.tables import format_kv
+
+    if args.connect:
+        from repro.fabric.protocol import OP_STATUS
+        from repro.net.transport import parse_address, request
+
+        try:
+            snapshot = request(
+                parse_address(args.connect), {"op": OP_STATUS}
+            )
+        except (TransientNetworkError, ProtocolError) as exc:
+            print(f"fabric status: broker unreachable: {exc}", file=sys.stderr)
+            return 1
+    else:
+        path = args.status_file or _default_status_file()
+        try:
+            snapshot = _json.loads(Path(path).read_text())
+        except FileNotFoundError:
+            print(f"fabric status: no status file at {path}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"fabric status: unreadable {path}: {exc}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(_json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    payload = {
+        key: snapshot.get(key)
+        for key in (
+            "total",
+            "queued",
+            "running",
+            "done",
+            "cached",
+            "failed",
+            "avg_trial_seconds",
+            "eta_seconds",
+            "elapsed_seconds",
+            "local_slots",
+            "listen",
+        )
+    }
+    payload["remote workers"] = (
+        ", ".join(snapshot.get("remote_workers", [])) or "none"
+    )
+    print(format_kv(payload))
     return 0
 
 
@@ -1050,6 +1298,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_simulate(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "fabric":
+        if args.fabric_command == "run":
+            return _cmd_fabric_run(args)
+        if args.fabric_command == "worker":
+            return _cmd_fabric_worker(args)
+        return _cmd_fabric_status(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "figures":

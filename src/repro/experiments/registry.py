@@ -10,7 +10,7 @@ import time
 from typing import Callable
 
 from repro.errors import ExperimentError
-from repro.sim.trials import reset_run_stats, run_stats
+from repro.sim.trials import fabric_metrics, reset_run_stats, run_stats
 from repro.experiments import (
     ablations,
     ext_adversarial,
@@ -97,6 +97,7 @@ def run_experiment(
     t0 = time.perf_counter()  # reprolint: disable=R002 (wall-clock meta)
     result = fn(scale=scale, seed=seed, n_jobs=n_jobs)
     result.meta["run_stats"] = run_stats().as_dict()
+    result.meta["fabric_metrics"] = fabric_metrics().as_dict()
     result.meta["wall_s"] = round(
         time.perf_counter() - t0, 3  # reprolint: disable=R002 (meta)
     )

@@ -133,6 +133,11 @@ def run_with_manifest(
             registry.gauge(f"trials.{key}", float(value))
         else:
             registry.inc(f"trials.{key}", int(value))
+    # dispatch-layer accounting from the fabric broker(s) the experiment
+    # ran under: queue counters, retries, lease expiries, remote settles
+    fabric = result.meta.get("fabric_metrics", {})
+    registry.merge_counters(fabric.get("counters", {}))
+    registry.merge_gauges(fabric.get("gauges", {}))
     registry.gauge("run.wall_seconds", wall_s)
     manifest = RunManifest(
         experiment_id=experiment_id,

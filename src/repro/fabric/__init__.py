@@ -1,0 +1,28 @@
+"""The distributed trial fabric: a resumable work-queue broker.
+
+``repro.fabric`` turns the multi-trial runner into a small distributed
+system with exact-reproducibility guarantees: a :class:`~.broker.Broker`
+flattens a sweep grid into a deterministic :class:`~.queue.TrialQueue`,
+drains it with a local process pool, optionally accepts remote
+``repro fabric worker`` processes over :mod:`repro.net.transport`, and
+streams every settled result into the content-addressed trial cache —
+which is also the resume story.  See ``docs/fabric.md``.
+
+:func:`repro.sim.trials.run_trials` and :func:`~repro.sim.trials.sweep`
+delegate here, so every experiment uses the fabric without knowing it.
+"""
+
+from repro.fabric.broker import STATUS_FORMAT, Broker
+from repro.fabric.queue import GridPoint, TrialQueue, WorkUnit, execute_unit
+from repro.fabric.worker import WorkerSummary, run_worker
+
+__all__ = [
+    "Broker",
+    "GridPoint",
+    "STATUS_FORMAT",
+    "TrialQueue",
+    "WorkUnit",
+    "WorkerSummary",
+    "execute_unit",
+    "run_worker",
+]

@@ -1,0 +1,774 @@
+"""The trial-fabric broker: one work queue, many workers, exact results.
+
+The broker owns a :class:`~repro.fabric.queue.TrialQueue` (a flattened
+sweep grid) and drains it from two directions at once:
+
+* a **local pool** of spawn-context ``ProcessPoolExecutor`` workers
+  (``n_jobs`` slots; ``n_jobs=1`` runs trials in-process, so unpicklable
+  ``trial_fn``\\ s keep working), and
+* a **socket attach path**: ``open_listener()`` binds a TCP port
+  speaking :mod:`repro.net.transport` frames, and any number of
+  ``repro fabric worker`` processes — on this host or others — lease
+  units, run them, and settle results mid-sweep.
+
+Determinism is structural, not cooperative: every unit's seed is fixed
+at queue-build time (``SeedSequence(entropy, spawn_key)``) and results
+are assembled by unit index, so the output is bit-identical whether the
+grid ran serially, on eight local processes, or half-remote.  Settled
+results stream into the :class:`~repro.sim.cache.TrialCache` as they
+arrive, which is the whole resume story: SIGKILL the broker anywhere and
+a re-run recomputes only the missing units.
+
+Failure handling (all under one lock, all through ``_settle_locked``):
+
+* an erroring trial is requeued until its attempt budget (``retries + 1``)
+  is spent, then marked failed;
+* a remote worker that dies mid-trial simply stops renewing its lease —
+  after ``lease_timeout`` the unit is settled as an error (and usually
+  requeued), so one dead worker loses at most its in-flight unit;
+* duplicate settles (a "dead" worker's result racing its own lease
+  expiry) are dropped or harmlessly accepted — trials are pure functions
+  of ``(config, seed path)``, so any settle for a unit is *the* answer;
+* a zero-completion window of ``timeout`` seconds on the local pool
+  means the in-flight workers are hung: they are killed and their units
+  retried.  Two races the old per-batch dispatcher had are fixed here:
+  an empty ``wait()`` is re-checked against ``Future.done()`` before
+  declaring a timeout, and a future that completes between that check
+  and its ``cancel()`` has its (real) result consumed instead of being
+  discarded and re-run.
+
+Wall-clock time in this module is scheduling metadata — lease deadlines,
+ETA estimates, status-file rate limiting.  It never touches simulation
+state, which is why the module sits on the reprolint wall-clock
+allowlist.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import socket
+import tempfile
+import threading
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigError, ProtocolError, TrialError
+from repro.fabric.protocol import (
+    OP_LEASE,
+    OP_SETTLE,
+    OP_STATUS,
+    result_from_wire,
+    unit_to_wire,
+)
+from repro.fabric.queue import (
+    CACHED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SETTLED_STATES,
+    GridPoint,
+    TrialQueue,
+    execute_unit,
+)
+from repro.net.transport import (
+    Address,
+    format_address,
+    read_frame_sync,
+    write_frame_sync,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.cache import TrialCache, get_cache
+from repro.sim.results import SimulationResult, TrialSet
+
+__all__ = ["STATUS_FORMAT", "Broker"]
+
+STATUS_FORMAT = "repro.fabric_status.v1"
+
+#: Local dispatch sources (everything else is a remote worker name).
+_LOCAL_SOURCES = ("local", "pool")
+
+#: How long after its last lease/settle a remote worker still counts as
+#: "active" in status snapshots and ETA parallelism estimates.
+_WORKER_ACTIVE_WINDOW = 10.0
+
+
+class Broker:
+    """Run a trial grid to completion across local and remote workers.
+
+    Parameters mirror :func:`repro.sim.trials.run_trials` where they
+    overlap (``n_jobs``, ``cache``, ``retries``, ``timeout``,
+    ``trial_fn``, ``progress``); the fabric-only knobs are:
+
+    listen:
+        ``(host, port)`` to accept remote workers on (port 0 = ephemeral;
+        :meth:`open_listener` returns the bound address).  ``None``
+        (default) runs purely local.
+    lease_timeout:
+        Seconds a remote worker may hold a unit without settling it
+        before the broker declares the worker dead and requeues the unit.
+    poll_interval:
+        Dispatch-loop tick; bounds how quickly lease expiry and status
+        updates are noticed.
+    status_path:
+        If set, a JSON status document (format
+        :data:`STATUS_FORMAT`) is atomically rewritten about twice a
+        second — ``repro fabric status`` reads it without touching the
+        broker.
+    metrics:
+        A :class:`MetricsRegistry` to stream ``fabric.*`` counters and
+        gauges into (one is created if omitted).
+    """
+
+    def __init__(
+        self,
+        grid: Sequence[GridPoint],
+        *,
+        n_jobs: int = 1,
+        cache: TrialCache | bool | None = None,
+        retries: int = 1,
+        timeout: float | None = None,
+        trial_fn: Callable | None = None,
+        progress: Callable[[dict], None] | None = None,
+        metrics: MetricsRegistry | None = None,
+        listen: Address | None = None,
+        lease_timeout: float = 120.0,
+        poll_interval: float = 0.05,
+        status_path: Path | str | None = None,
+    ):
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        if lease_timeout <= 0:
+            raise ConfigError(
+                f"lease_timeout must be > 0, got {lease_timeout}"
+            )
+        if n_jobs == 0:
+            from repro.sim.trials import default_n_jobs
+
+            n_jobs = default_n_jobs()
+        if n_jobs < 1:
+            raise ConfigError(f"n_jobs must be >= 0, got {n_jobs}")
+
+        grid = list(grid)
+        if cache is None or cache is True:
+            seeded = any(p.config.seed is not None for p in grid)
+            cache_obj = get_cache() if (cache or seeded) else None
+        elif cache is False:
+            cache_obj = None
+        else:
+            cache_obj = cache
+
+        self._cache = cache_obj
+        self._queue = TrialQueue(grid, keyed=cache_obj is not None)
+        self._n_jobs = n_jobs
+        self._retries = retries
+        self._timeout = timeout
+        self._trial_fn = trial_fn
+        self._progress = progress
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._listen = listen
+        self._lease_timeout = lease_timeout
+        self._poll = poll_interval
+        self._status_path = Path(status_path) if status_path else None
+
+        self._lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self._lsock: socket.socket | None = None
+        self._listener: threading.Thread | None = None
+        self._bound: Address | None = None
+        self._workers_seen: dict[str, float] = {}
+        self._started: float | None = None
+        self._last_status_write = 0.0
+        self._run_seconds = 0.0
+        self._runs_settled = 0
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    @property
+    def queue(self) -> TrialQueue:
+        return self._queue
+
+    def open_listener(self) -> Address:
+        """Bind the attach socket and start serving workers; idempotent."""
+        if self._listen is None:
+            raise ConfigError("broker was constructed without listen=")
+        if self._bound is not None:
+            return self._bound
+        sock = socket.create_server(self._listen)
+        sock.settimeout(self._poll * 4)
+        self._lsock = sock
+        self._bound = sock.getsockname()[:2]
+        self._listener = threading.Thread(
+            target=self._serve, name="fabric-broker-listener", daemon=True
+        )
+        self._listener.start()
+        return self._bound
+
+    def status(self) -> dict[str, Any]:
+        """Live status snapshot (the ``repro fabric status`` document)."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def run(self) -> list[TrialSet]:
+        """Drain the queue; return one :class:`TrialSet` per grid point.
+
+        Raises :class:`~repro.errors.TrialError` when any unit is still
+        failed after its retry budget — with every completed sibling
+        already settled into the cache, exactly like the old per-point
+        runner.
+        """
+        self._started = time.perf_counter()
+        self._probe_cache()
+        if self._listen is not None and self._bound is None:
+            self.open_listener()
+        try:
+            with self._lock:
+                live = sum(
+                    1
+                    for st in self._queue.state
+                    if st.status not in SETTLED_STATES
+                )
+            if self._n_jobs > 1 and live > 1:
+                self._run_pool()
+            else:
+                self._run_serial()
+        finally:
+            self._shutdown.set()
+            self._close_listener()
+            with self._lock:
+                self._snapshot_locked()  # refresh final queue gauges
+            self._write_status(force=True)
+            from repro.sim import trials as _trials
+
+            _trials.merge_fabric_metrics(self._metrics)
+        return self._finish()
+
+    # ------------------------------------------------------------------
+    # cache probe
+    # ------------------------------------------------------------------
+    def _probe_cache(self) -> None:
+        """Settle every unit whose result is already cached.
+
+        Probed in deterministic unit order, so progress events and stats
+        are reproducible run to run.
+        """
+        if self._cache is None:
+            return
+        from repro.sim import trials as _trials
+
+        events = []
+        for unit in self._queue.units:
+            if unit.key is None:
+                continue
+            cached = self._cache.load(unit.key)
+            if cached is None:
+                continue
+            with self._lock:
+                st = self._queue.state[unit.uid]
+                st.status = CACHED
+                st.result = cached
+                self._metrics.inc("fabric.cached")
+                events.append(
+                    {
+                        "trial": unit.trial,
+                        "point": unit.point,
+                        "status": "cached",
+                        "seconds": 0.0,
+                    }
+                )
+            _trials.record_trial_cached(cached)
+        for event in events:
+            self._emit(event)
+        self._write_status(force=True)
+
+    # ------------------------------------------------------------------
+    # settlement (the single state machine)
+    # ------------------------------------------------------------------
+    def _settle(
+        self, uid: int, status: str, payload: object, seconds: float, source: str
+    ) -> bool:
+        with self._lock:
+            event = self._settle_locked(uid, status, payload, seconds, source)
+        if event is not None:
+            self._emit(event)
+        return event is not None
+
+    def _settle_locked(
+        self, uid: int, status: str, payload: object, seconds: float, source: str
+    ) -> dict | None:
+        """Apply one settle; returns the progress event or None if stale.
+
+        Caller holds the broker lock.  ``"ok"`` settles are accepted for
+        any unsettled unit (a late result from an expired lease is still
+        the exact answer); ``"err"`` settles are only accepted from the
+        unit's current owner, so a requeued unit is not double-penalized
+        by its previous owner's post-mortem.
+        """
+        from repro.sim import trials as _trials
+
+        st = self._queue.state[uid]
+        unit = self._queue.units[uid]
+        if st.status in SETTLED_STATES:
+            return None
+        remote = source not in _LOCAL_SOURCES
+
+        if status == "ok":
+            assert isinstance(payload, SimulationResult)
+            st.status = DONE
+            st.result = payload
+            st.seconds = seconds
+            st.attempts += 1
+            st.owner = source
+            st.deadline = None
+            self._runs_settled += 1
+            self._run_seconds += seconds
+            self._metrics.inc("fabric.done")
+            if remote:
+                self._metrics.inc("fabric.remote_settled")
+            _trials.record_trial_run(payload, seconds, remote=remote)
+            if self._cache is not None and unit.key is not None:
+                self._cache.store(unit.key, payload)
+            return {
+                "trial": unit.trial,
+                "point": unit.point,
+                "status": "ok",
+                "seconds": seconds,
+            }
+
+        if st.status != RUNNING or st.owner != source:
+            return None
+        st.attempts += 1
+        st.error = str(payload)
+        if st.attempts > self._retries:
+            st.status = FAILED
+            st.owner = None
+            st.deadline = None
+            self._metrics.inc("fabric.failed")
+            _trials.record_trials_failed(1)
+        else:
+            self._queue.requeue(uid)
+            self._metrics.inc("fabric.retries")
+            _trials.record_retries(1)
+        return {
+            "trial": unit.trial,
+            "point": unit.point,
+            "status": "err",
+            "seconds": seconds,
+        }
+
+    def _emit(self, event: dict) -> None:
+        if self._progress is not None:
+            self._progress(event)
+
+    def _expire_leases_locked(self, now: float) -> list[dict]:
+        """Requeue units whose remote lease lapsed; returns progress events."""
+        events = []
+        for uid in self._queue.expired(now):
+            owner = self._queue.state[uid].owner or "?"
+            self._metrics.inc("fabric.lease_expired")
+            event = self._settle_locked(
+                uid,
+                "err",
+                f"lease expired (worker {owner!r} stopped responding)",
+                0.0,
+                source=owner,
+            )
+            if event is not None:
+                events.append(event)
+        return events
+
+    # ------------------------------------------------------------------
+    # local execution: serial
+    # ------------------------------------------------------------------
+    def _run_serial(self) -> None:
+        """In-process dispatch loop (``n_jobs=1``); remote workers may
+        still drain the queue concurrently through the listener."""
+        while not self._shutdown.is_set():
+            now = time.perf_counter()
+            with self._lock:
+                events = self._expire_leases_locked(now)
+                unit = self._queue.lease("local", None)
+                settled = self._queue.all_settled()
+            for event in events:
+                self._emit(event)
+            if unit is None:
+                if settled:
+                    return
+                # Remote workers own every live unit; wait for settles
+                # (or lease expiries) to come through the listener.
+                time.sleep(self._poll)
+                self._write_status()
+                continue
+            config = self._queue.config_for(unit)
+            out = execute_unit(
+                (self._trial_fn, config, unit.uid, unit.seed_seq())
+            )
+            self._settle(out[0], out[1], out[2], out[3], source="local")
+            self._write_status()
+
+    # ------------------------------------------------------------------
+    # local execution: process pool
+    # ------------------------------------------------------------------
+    def _new_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(self._n_jobs, len(self._queue)),
+            mp_context=mp.get_context("spawn"),
+        )
+
+    def _run_pool(self) -> None:
+        """Local pool dispatch: keep ``n_jobs`` units in flight, settle
+        completions incrementally, survive broken pools and hangs."""
+        executor = self._new_executor()
+        futures: dict[Future, int] = {}
+        last_completion = time.perf_counter()
+        try:
+            while not self._shutdown.is_set():
+                now = time.perf_counter()
+                leased: list = []
+                with self._lock:
+                    events = self._expire_leases_locked(now)
+                    while len(futures) + len(leased) < self._n_jobs:
+                        unit = self._queue.lease("pool", None)
+                        if unit is None:
+                            break
+                        leased.append(unit)
+                    settled = self._queue.all_settled()
+                for event in events:
+                    self._emit(event)
+                if leased and not futures:
+                    # The pool was idle (e.g. remote workers held the
+                    # only live units); the hang window starts now, not
+                    # at the last completion before the idle stretch.
+                    last_completion = now
+                for unit in leased:
+                    args = (
+                        self._trial_fn,
+                        self._queue.config_for(unit),
+                        unit.uid,
+                        unit.seed_seq(),
+                    )
+                    try:
+                        fut = executor.submit(execute_unit, args)
+                    except BrokenExecutor:
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        executor = self._new_executor()
+                        fut = executor.submit(execute_unit, args)
+                    futures[fut] = unit.uid
+
+                if not futures:
+                    if settled:
+                        return
+                    # Everything live is leased remotely.
+                    time.sleep(self._poll)
+                    self._write_status()
+                    continue
+
+                done, _ = wait(
+                    set(futures),
+                    timeout=self._poll,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # RACE FIX (1/2): a future can complete between
+                    # wait() timing out and this bookkeeping; re-check
+                    # before treating the window as progress-free.
+                    done = {fut for fut in futures if fut.done()}
+                if done:
+                    last_completion = time.perf_counter()
+                    self._consume(done, futures)
+                elif (
+                    self._timeout is not None
+                    and time.perf_counter() - last_completion > self._timeout
+                ):
+                    executor = self._expire_window(executor, futures)
+                    futures = {}
+                    last_completion = time.perf_counter()
+                self._write_status()
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _consume(self, done: set, futures: dict) -> None:
+        """Settle finished futures in deterministic (uid) order."""
+        for fut in sorted(done, key=futures.__getitem__):
+            uid = futures.pop(fut)
+            try:
+                _, status, payload, seconds = fut.result()
+            # pool boundary: BrokenProcessPool / unpickle failures
+            except BaseException as exc:  # reprolint: disable=R004 (pool boundary)
+                status, payload, seconds = "err", f"worker died: {exc!r}", 0.0
+            self._settle(uid, status, payload, seconds, source="pool")
+
+    def _expire_window(
+        self, executor: ProcessPoolExecutor, futures: dict
+    ) -> ProcessPoolExecutor:
+        """Handle a zero-completion timeout window: kill and retry.
+
+        Every in-flight future is cancelled and its worker killed — but
+        a future that completed *between the window check and here* is
+        RACE FIX (2/2): its result is real and consumed normally, where
+        the old dispatcher discarded it and re-ran the trial.
+        """
+        stranded = sorted(futures, key=futures.__getitem__)
+        for fut in stranded:
+            fut.cancel()
+        _kill_workers(executor)
+        executor.shutdown(wait=False, cancel_futures=True)
+        finished = {
+            fut for fut in stranded if fut.done() and not fut.cancelled()
+        }
+        self._consume(finished, futures)
+        for fut in stranded:
+            if fut in finished:
+                continue
+            uid = futures.pop(fut)
+            self._settle(
+                uid,
+                "err",
+                f"trial timed out (no completion within "
+                f"{self._timeout}s window)",
+                float(self._timeout or 0.0),
+                source="pool",
+            )
+        return self._new_executor()
+
+    # ------------------------------------------------------------------
+    # remote workers (listener thread)
+    # ------------------------------------------------------------------
+    def _serve(self) -> None:
+        sock = self._lsock
+        assert sock is not None
+        while not self._shutdown.is_set():
+            try:
+                conn, _peer = sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                with conn:
+                    conn.settimeout(2.0)
+                    request = read_frame_sync(conn)
+                    if request is None:
+                        continue
+                    write_frame_sync(conn, self._handle_request(request))
+            # one bad/dying worker connection must never take the broker
+            # down; the unit it held comes back via lease expiry
+            except (ProtocolError, OSError, ValueError):
+                continue
+
+    def _handle_request(self, request: dict) -> dict:
+        op = request.get("op")
+        now = time.perf_counter()
+        if op == OP_LEASE:
+            worker = str(request.get("worker", "?"))
+            with self._lock:
+                events = self._expire_leases_locked(now)
+                self._workers_seen[worker] = now
+                if self._queue.all_settled() or self._shutdown.is_set():
+                    value: dict[str, Any] = {"unit": None, "shutdown": True}
+                else:
+                    unit = self._queue.lease(worker, now + self._lease_timeout)
+                    if unit is None:
+                        value = {"unit": None, "shutdown": False}
+                    else:
+                        self._metrics.inc("fabric.remote_leases")
+                        value = {
+                            "unit": unit_to_wire(
+                                unit, self._queue.config_for(unit)
+                            ),
+                            "shutdown": False,
+                        }
+            for event in events:
+                self._emit(event)
+            return {"ok": True, "value": value}
+        if op == OP_SETTLE:
+            worker = str(request.get("worker", "?"))
+            try:
+                uid = int(request["uid"])
+                status = str(request["status"])
+                seconds = float(request.get("seconds", 0.0))
+                if not 0 <= uid < len(self._queue):
+                    raise ValueError(f"unknown uid {uid}")
+                payload: object
+                if status == "ok":
+                    payload = result_from_wire(request["result"])
+                else:
+                    payload = str(request.get("error", "remote error"))
+            except (KeyError, TypeError, ValueError, ProtocolError) as exc:
+                return {"ok": False, "kind": "app", "error": str(exc)}
+            with self._lock:
+                self._workers_seen[worker] = now
+            accepted = self._settle(uid, status, payload, seconds, worker)
+            with self._lock:
+                settled = self._queue.all_settled()
+            return {
+                "ok": True,
+                "value": {"accepted": accepted, "shutdown": settled},
+            }
+        if op == OP_STATUS:
+            with self._lock:
+                snapshot = self._snapshot_locked()
+            return {"ok": True, "value": snapshot}
+        return {"ok": False, "kind": "app", "error": f"unknown op {op!r}"}
+
+    def _close_listener(self) -> None:
+        if self._lsock is not None:
+            try:
+                self._lsock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        if self._listener is not None:
+            self._listener.join(timeout=2.0)
+
+    # ------------------------------------------------------------------
+    # status / metrics
+    # ------------------------------------------------------------------
+    def _snapshot_locked(self) -> dict[str, Any]:
+        now = time.perf_counter()
+        counts = self._queue.counts()
+        remaining = counts[QUEUED] + counts[RUNNING]
+        avg = self._run_seconds / self._runs_settled if self._runs_settled else 0.0
+        active = sorted(
+            name
+            for name, seen in self._workers_seen.items()
+            if now - seen <= _WORKER_ACTIVE_WINDOW
+        )
+        slots = max(1, self._n_jobs + len(active))
+        eta = remaining * avg / slots if avg else None
+        self._metrics.gauge("fabric.queued", counts[QUEUED])
+        self._metrics.gauge("fabric.running", counts[RUNNING])
+        if eta is not None:
+            self._metrics.gauge("fabric.eta_seconds", round(eta, 2))
+
+        points = []
+        for p, point in enumerate(self._queue.points):
+            settled = sum(
+                1
+                for unit, st in zip(self._queue.units, self._queue.state)
+                if unit.point == p and st.status in SETTLED_STATES
+            )
+            failed = sum(
+                1
+                for unit, st in zip(self._queue.units, self._queue.state)
+                if unit.point == p and st.status == FAILED
+            )
+            left = point.n_trials - settled
+            points.append(
+                {
+                    "point": p,
+                    "n_trials": point.n_trials,
+                    "settled": settled,
+                    "failed": failed,
+                    "eta_seconds": round(left * avg / slots, 2) if avg else None,
+                }
+            )
+
+        return {
+            "format": STATUS_FORMAT,
+            "total": len(self._queue),
+            "queued": counts[QUEUED],
+            "running": counts[RUNNING],
+            "done": counts[DONE],
+            "cached": counts[CACHED],
+            "failed": counts[FAILED],
+            "avg_trial_seconds": round(avg, 4),
+            "eta_seconds": round(eta, 2) if eta is not None else None,
+            "elapsed_seconds": (
+                round(now - self._started, 2) if self._started else 0.0
+            ),
+            "local_slots": self._n_jobs,
+            "remote_workers": active,
+            "listen": (
+                format_address(self._bound) if self._bound else None
+            ),
+            "metrics": self._metrics.as_dict(),
+        }
+
+    def _write_status(self, force: bool = False) -> None:
+        if self._status_path is None:
+            return
+        now = time.perf_counter()
+        if not force and now - self._last_status_write < 0.5:
+            return
+        self._last_status_write = now
+        with self._lock:
+            snapshot = self._snapshot_locked()
+        payload = json.dumps(snapshot, sort_keys=True)
+        self._status_path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self._status_path.parent, prefix=".tmp-status-"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, self._status_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def _finish(self) -> list[TrialSet]:
+        from repro.sim.trials import TrialFailure
+
+        failed = self._queue.failed_units()
+        n_completed = sum(
+            1 for st in self._queue.state if st.status in (DONE, CACHED)
+        )
+        if failed:
+            failures = tuple(
+                TrialFailure(
+                    trial_index=unit.trial,
+                    seed_entropy=unit.entropy,
+                    spawn_key=unit.spawn_key,
+                    attempts=st.attempts,
+                    error=st.error or "unknown error",
+                )
+                for unit, st in failed
+            )
+            lines = "\n".join(f"  - {f}" for f in failures)
+            raise TrialError(
+                f"{len(failures)}/{len(self._queue)} trial(s) failed after "
+                f"{self._retries} retr{'y' if self._retries == 1 else 'ies'} "
+                f"({n_completed} completed and preserved):\n{lines}",
+                failures=failures,
+                n_completed=n_completed,
+            )
+        out: list[TrialSet] = []
+        for p, point in enumerate(self._queue.points):
+            results: list[SimulationResult] = [None] * point.n_trials  # type: ignore[list-item]
+            for unit, st in zip(self._queue.units, self._queue.state):
+                if unit.point == p:
+                    assert st.result is not None
+                    results[unit.trial] = st.result
+            out.append(TrialSet(config=point.config, results=results))
+        return out
+
+
+def _kill_workers(executor: ProcessPoolExecutor) -> None:
+    """Best-effort SIGKILL of a pool's workers (hung-trial recovery)."""
+    processes = getattr(executor, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except (OSError, AttributeError):
+            pass

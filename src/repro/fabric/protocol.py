@@ -1,0 +1,139 @@
+"""Wire codecs for the fabric's broker/worker protocol.
+
+The fabric reuses :mod:`repro.net.transport`'s length-prefixed JSON
+frames and response envelopes (``{"ok": true, "value": ...}`` /
+``{"ok": false, "kind": ..., "error": ...}``), so workers talk to the
+broker with the same :func:`repro.net.transport.request` client the live
+DHT layer uses — retry policy, error taxonomy and frame-size limits
+included.
+
+Three operations, each one request frame + one reply frame per
+connection:
+
+``lease``
+    ``{"op": "lease", "worker": name}`` ->
+    ``{"unit": <wire unit> | null, "shutdown": bool}``.  A null unit
+    with ``shutdown`` false means "queue momentarily empty, poll again";
+    with ``shutdown`` true the worker exits cleanly.
+
+``settle``
+    ``{"op": "settle", "worker": name, "uid": n, "status": "ok"|"err",
+    "seconds": s, "result": <wire result> | "error": str}`` ->
+    ``{"accepted": bool, "shutdown": bool}``.  ``accepted`` false means
+    the broker already settled the unit (e.g. its lease expired and a
+    retry landed first) — trials are pure functions of ``(config, seed
+    path)``, so dropping a duplicate settle is always safe.
+
+``status``
+    ``{"op": "status"}`` -> the broker's live status snapshot (the same
+    document ``repro fabric status --json`` prints).
+
+A wire unit carries the work by value: the full config dict plus the
+trial's ``SeedSequence`` coordinates (entropy, spawn key), so the remote
+trial is bit-identical to a local one.  Results travel as
+:func:`repro.sim.persistence.result_to_dict` documents with final loads
+included — the exact representation the trial cache stores, which is
+what makes broker-side incremental caching of remote results exact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.errors import ProtocolError
+from repro.fabric.queue import WorkUnit
+from repro.sim.persistence import result_from_dict, result_to_dict
+from repro.sim.results import SimulationResult
+
+__all__ = [
+    "OP_LEASE",
+    "OP_SETTLE",
+    "OP_STATUS",
+    "config_from_wire",
+    "config_to_wire",
+    "result_from_wire",
+    "result_to_wire",
+    "unit_from_wire",
+    "unit_to_wire",
+]
+
+OP_LEASE = "lease"
+OP_SETTLE = "settle"
+OP_STATUS = "status"
+
+
+def config_to_wire(config: SimulationConfig) -> dict[str, Any]:
+    """JSON-safe config document (tuples become lists in transit)."""
+    return config.as_dict()
+
+
+def config_from_wire(data: dict[str, Any]) -> SimulationConfig:
+    """Rebuild a config; inverse of :func:`config_to_wire`."""
+    try:
+        fields = dict(data)
+        fields["snapshot_ticks"] = tuple(fields.get("snapshot_ticks", ()))
+        return SimulationConfig(**fields)
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ProtocolError(f"bad config on the wire: {exc}") from exc
+
+
+def unit_to_wire(unit: WorkUnit, config: SimulationConfig) -> dict[str, Any]:
+    """One leased work unit, self-contained for a remote host.
+
+    ``entropy`` travels as a string: seedless roots draw 128-bit
+    entropy, and some JSON decoders mangle integers that wide.
+    """
+    return {
+        "uid": unit.uid,
+        "point": unit.point,
+        "trial": unit.trial,
+        "entropy": None if unit.entropy is None else str(unit.entropy),
+        "spawn_key": list(unit.spawn_key),
+        "config": config_to_wire(config),
+    }
+
+
+def unit_from_wire(
+    data: dict[str, Any],
+) -> tuple[int, SimulationConfig, np.random.SeedSequence]:
+    """``(uid, config, seed_seq)`` for :func:`~repro.fabric.queue.execute_unit`."""
+    try:
+        uid = int(data["uid"])
+        entropy = data.get("entropy")
+        spawn_key = tuple(int(k) for k in data.get("spawn_key", ()))
+        config = config_from_wire(data["config"])
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ProtocolError(f"bad work unit on the wire: {exc}") from exc
+    seed_seq = np.random.SeedSequence(
+        entropy=None if entropy is None else int(entropy),
+        spawn_key=spawn_key,
+    )
+    return uid, config, seed_seq
+
+
+def result_to_wire(result: SimulationResult) -> str:
+    """Cache-exact result document (final loads included).
+
+    Pre-serialized to an opaque JSON *string*, not a nested object:
+    :func:`repro.net.transport.encode_frame` canonicalizes frames with
+    ``sort_keys=True``, which would silently re-order insertion-ordered
+    dicts inside the result (``counters`` et al.) and break the fabric's
+    byte-identity contract — a remotely-settled trial must produce the
+    exact bytes a local run caches and ``save_sweep`` writes.
+    """
+    return json.dumps(result_to_dict(result, include_final_loads=True))
+
+
+def result_from_wire(data: str | dict[str, Any]) -> SimulationResult:
+    """Rebuild a settled result; raises ``ProtocolError`` on junk."""
+    try:
+        doc = json.loads(data) if isinstance(data, str) else dict(data)
+        return result_from_dict(doc)
+    # wire boundary: any decode failure (persistence/type/key errors)
+    # must surface as one protocol error the broker can reject cleanly
+    except Exception as exc:  # reprolint: disable=R004 (wire boundary, re-raised)
+        raise ProtocolError(f"bad result on the wire: {exc}") from exc

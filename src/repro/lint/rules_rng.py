@@ -179,6 +179,12 @@ WALLCLOCK_ALLOWLIST = (
     # Subprocess startup/shutdown deadlines: timeouts on real child
     # processes are inherently wall-clock; nothing feeds results.
     "repro/net/cluster.py",
+    # The trial-fabric broker: lease deadlines, hang-timeout windows,
+    # ETA estimates and status-file rate limiting are scheduling
+    # metadata.  Results are assembled by unit index from seeds fixed at
+    # queue-build time, so no clock read can reach a fingerprint (the
+    # fabric smoke gate holds broker output bit-identical to serial).
+    "repro/fabric/broker.py",
 )
 
 #: Top-level modules whose import signals process/thread parallelism or
@@ -205,10 +211,19 @@ PARALLELISM_ALLOWLIST = (
     # every RNG draw stays on the sequential global stream.  See the
     # determinism contract in repro/sim/shard.py's module docstring.
     "repro/sim/shard.py",
-    # The trial runner: fans out *whole trials*, each sealed with its
-    # own spawned SeedSequence; results are keyed by trial index, so
-    # completion order cannot reorder anything observable.
+    # The trial runner's semantic surface: threading.Lock around the
+    # module-level RunStats collector, which the fabric settles into
+    # from its dispatch *and* listener threads.  Dispatch itself lives
+    # in repro/fabric/.
     "repro/sim/trials.py",
+    # The trial-fabric broker: fans out *whole trials*, each sealed with
+    # its own spawned SeedSequence fixed at queue-build time; results
+    # are keyed by (point, trial) unit index, so neither local pool
+    # completion order nor remote settle arrival order can reorder
+    # anything observable.  Uses threading (listener + one lock),
+    # concurrent.futures/multiprocessing (local pool) and socket (the
+    # worker attach path).
+    "repro/fabric/broker.py",
     # The live layer (repro/net/) runs on real sockets by design; it is
     # strictly additive — nothing in the simulation path imports it, so
     # its scheduling nondeterminism cannot reach a fingerprinted output
@@ -274,7 +289,16 @@ class NondeterminismHazard(Rule):
     name = "nondeterminism-hazard"
     summary = "no wall clock, uuid, id()-keys, or set-order in sim logic"
 
-    SCOPE_DIRS = ("sim", "chord", "core", "experiments", "hashspace", "obs", "net")
+    SCOPE_DIRS = (
+        "sim",
+        "chord",
+        "core",
+        "experiments",
+        "hashspace",
+        "obs",
+        "net",
+        "fabric",
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not ctx.in_dirs(*self.SCOPE_DIRS):

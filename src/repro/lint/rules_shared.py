@@ -160,7 +160,7 @@ class SharedStateHazard(ProjectRule):
         "writes from concurrent workers"
     )
 
-    SCOPE_DIRS = ("sim", "net")
+    SCOPE_DIRS = ("sim", "net", "fabric")
 
     def check_project(self, project: ProjectModel) -> Iterator[Finding]:
         entries = project.concurrent_entry_points()

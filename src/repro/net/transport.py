@@ -58,9 +58,11 @@ __all__ = [
     "format_address",
     "parse_address",
     "read_frame",
+    "read_frame_sync",
     "remote_error",
     "request",
     "write_frame",
+    "write_frame_sync",
 ]
 
 Address = tuple[str, int]
@@ -251,6 +253,32 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+def read_frame_sync(sock: socket.socket) -> dict[str, Any] | None:
+    """Blocking twin of :func:`read_frame`; ``None`` on clean EOF.
+
+    Used by thread-based servers (the fabric broker) that accept one
+    request frame per connection — the asyncio reader above serves the
+    live DHT layer, which multiplexes.
+    """
+    header = b""
+    while len(header) < _LEN.size:
+        chunk = sock.recv(_LEN.size - len(header))
+        if not chunk:
+            if not header:
+                return None
+            raise ProtocolError("truncated frame header")
+        header += chunk
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced oversized frame ({length} bytes)")
+    return _decode_body(_recv_exactly(sock, length))
+
+
+def write_frame_sync(sock: socket.socket, payload: dict[str, Any]) -> None:
+    """Blocking twin of :func:`write_frame`."""
+    sock.sendall(encode_frame(payload))
 
 
 def _exchange_sync(sock: socket.socket, frame: bytes) -> dict[str, Any]:

@@ -89,18 +89,25 @@ def collect_run_metrics(
     engine_counters: Mapping[str, int] | None = None,
     run_stats: "RunStats | None" = None,
     profiler: "PhaseProfiler | None" = None,
+    fabric: "MetricsRegistry | None" = None,
 ) -> MetricsRegistry:
     """Fold the run's accounting sources into one registry.
 
     Engine counters land under ``sim.``, trial-runner stats under
     ``trials.`` (integer fields as counters, timings as gauges), and
     profiler phase times under ``profile.`` (``*_calls`` counters,
-    ``*_seconds`` gauges).  Every source is optional — pass what the
-    run actually had.
+    ``*_seconds`` gauges).  A fabric broker's registry (already
+    ``fabric.``-namespaced: queue depth gauges, done/cached/failed/
+    retry counters) merges verbatim.  Every source is optional — pass
+    what the run actually had.
     """
     registry = MetricsRegistry()
     if engine_counters is not None:
         registry.merge_counters(engine_counters, prefix="sim.")
+    if fabric is not None:
+        exported = fabric.as_dict()
+        registry.merge_counters(exported["counters"])
+        registry.merge_gauges(exported["gauges"])
     if run_stats is not None:
         stats = run_stats.as_dict()
         for key, value in stats.items():

@@ -35,6 +35,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 import numpy as np
@@ -49,6 +50,7 @@ from repro.sim.results import SimulationResult
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "STALE_TMP_SECONDS",
     "TrialCache",
     "cache_enabled",
     "default_cache_dir",
@@ -110,14 +112,47 @@ def trial_key(
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+#: Orphaned ``.tmp-*`` write files older than this (seconds) are swept
+#: on cache construction.  Generous on purpose: a temp file younger than
+#: this may belong to a store() in flight in another process.
+STALE_TMP_SECONDS = 3600.0
+
+
 class TrialCache:
-    """File-backed store of completed trials, addressed by content key."""
+    """File-backed store of completed trials, addressed by content key.
+
+    Safe for concurrent writers (the fabric settles trials from many
+    processes at once): stores are atomic (temp file + rename), readers
+    never see the ``.tmp-*`` staging files, and maintenance tolerates
+    entries vanishing mid-scan.
+    """
 
     def __init__(self, root: Path | str | None = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove orphaned ``.tmp-*`` files left by a SIGKILL mid-store.
+
+        ``store()`` cleans its temp file on every *exception*, but a
+        SIGKILL between ``mkstemp`` and ``os.replace`` leaks it; without
+        this sweep they accumulate forever.  Only files older than
+        :data:`STALE_TMP_SECONDS` go — a younger one may be another
+        process's write in flight.
+        """
+        if not self.trials_dir.is_dir():
+            return
+        # wall-clock file age is maintenance metadata, never sim state
+        now = time.time()  # reprolint: disable=R002 (cache maintenance)
+        for tmp in self.trials_dir.glob("*/.tmp-*"):
+            try:
+                if now - tmp.stat().st_mtime > STALE_TMP_SECONDS:
+                    tmp.unlink()
+            except (FileNotFoundError, OSError):
+                continue
 
     @property
     def trials_dir(self) -> Path:
@@ -169,12 +204,31 @@ class TrialCache:
 
     # -- maintenance ----------------------------------------------------
     def entries(self) -> list[Path]:
+        """Committed cache entries — ``.tmp-*`` staging files excluded.
+
+        ``mkstemp`` names end in ``.json`` too, so the bare ``*/*.json``
+        glob this used to be counted half-written temp files in
+        ``size_bytes()`` and deleted them out from under a concurrent
+        ``store()`` in ``clear()``.
+        """
         if not self.trials_dir.is_dir():
             return []
-        return sorted(self.trials_dir.glob("*/*.json"))
+        return sorted(
+            p
+            for p in self.trials_dir.glob("*/*.json")
+            if not p.name.startswith(".tmp-")
+        )
 
     def size_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self.entries())
+        total = 0
+        for p in self.entries():
+            try:
+                total += p.stat().st_size
+            except FileNotFoundError:
+                # unlinked by a concurrent clear()/load() between the
+                # glob and the stat — it no longer occupies bytes
+                continue
+        return total
 
     def clear(self) -> int:
         """Delete every cached trial; returns the number removed."""

@@ -1,21 +1,26 @@
 """Multi-trial execution: reproducible seeds, fault tolerance, caching.
 
 Every table in the paper is "the average of 100 trials".  This module
-runs N independent trials of a configuration — optionally across
-processes, since trials share nothing — and aggregates them into a
-:class:`~repro.sim.results.TrialSet`.
+is the *semantic* surface for running N independent trials of a
+configuration — seeding rules, failure records, run statistics — while
+the actual dispatch lives in :mod:`repro.fabric`: :func:`run_trials`
+and :func:`sweep` build a trial grid and hand it to a
+:class:`~repro.fabric.broker.Broker` (single-process by default), so
+every caller gains the fabric's incremental caching, retry machinery and
+remote-worker attach path without signature changes.
 
 Seeding: trial *i* of a config with seed *s* always uses the *i*-th child
 of ``SeedSequence(s)``, so results are bit-reproducible regardless of
-``n_jobs``, caching, retries, or interruption.
+``n_jobs``, caching, retries, interruption, or which fabric worker ran
+the trial.
 
 Fault tolerance: trials are dispatched individually (not ``Pool.map``),
 so one crashed or raising worker cannot discard its finished siblings.
-Failed trials are retried in a fresh worker with the same seed up to
-``retries`` times; what still fails raises a structured
-:class:`~repro.errors.TrialError` naming each trial index and seed path.
-Completed results are persisted through :mod:`repro.sim.cache` as they
-arrive, so a killed run resumes at the first missing trial.
+Failed trials are retried with the same seed up to ``retries`` times;
+what still fails raises a structured :class:`~repro.errors.TrialError`
+naming each trial index and seed path.  Completed results are persisted
+through :mod:`repro.sim.cache` as they arrive, so a killed run resumes
+at the first missing trial.
 
 Environment knobs
 -----------------
@@ -32,31 +37,33 @@ Environment knobs
 from __future__ import annotations
 
 import functools
-import multiprocessing as mp
 import os
-import time
-import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import threading
 from dataclasses import dataclass, replace
 from hashlib import sha256
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigError, TrialError
+from repro.errors import ConfigError
 from repro.config import SimulationConfig
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import Profiler
 from repro.obs.trace import TraceSink
-from repro.sim.cache import TrialCache, get_cache, trial_key
+from repro.sim.cache import TrialCache
 from repro.sim.engine import TickEngine
 from repro.sim.results import SimulationResult, TrialSet
 from repro.sim.shard import ShardedTickEngine
 from repro.util.rng import make_rng
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fabric.queue import GridPoint
+
 __all__ = [
     "run_trial",
     "run_trials",
     "sweep",
+    "sweep_grid",
     "default_n_jobs",
     "make_trial_fn",
     "TrialFailure",
@@ -122,7 +129,8 @@ def make_trial_fn(
     ``functools.partial`` over the module-level :func:`run_trial`
     survives the spawn-context pickling that ``run_trials(n_jobs > 1)``
     requires, unlike a closure; the CLI uses this to honor
-    ``--backend`` / ``--shards`` on multi-process trial runs.
+    ``--backend`` / ``--shards`` on multi-process trial runs and
+    ``repro fabric worker``.
     """
     if backend is None and shards == 1 and min_parallel_slots is None:
         return run_trial
@@ -190,11 +198,15 @@ class RunStats:
     collector so the CLI and the experiment report can surface
     done/cached/failed counts and wall-clock per trial without threading
     a stats object through every experiment signature.
+
+    ``trials_remote`` counts trials settled by attached ``repro fabric
+    worker`` processes (a subset of ``trials_run``).
     """
 
     trials_run: int = 0
     trials_cached: int = 0
     trials_failed: int = 0
+    trials_remote: int = 0
     retries: int = 0
     trial_seconds: float = 0.0
     trials_truncated: int = 0
@@ -226,6 +238,7 @@ class RunStats:
             "trials_run": self.trials_run,
             "trials_cached": self.trials_cached,
             "trials_failed": self.trials_failed,
+            "trials_remote": self.trials_remote,
             "retries": self.retries,
             "trial_seconds": round(self.trial_seconds, 4),
             "avg_trial_seconds": round(self.avg_trial_seconds, 4),
@@ -239,6 +252,8 @@ class RunStats:
             f"{self.trials_cached} cached",
             f"{self.trials_run} run",
         ]
+        if self.trials_remote:
+            parts.append(f"{self.trials_remote} remote")
         if self.retries:
             parts.append(f"{self.retries} retried")
         if self.trials_failed:
@@ -252,138 +267,86 @@ class RunStats:
         return ", ".join(parts)
 
 
+# The collector is mutated from wherever the fabric settles trials —
+# the broker's dispatch thread *and* its listener thread (remote
+# settles) — so every touch goes through the lock below.  A bare
+# ``_RUN_STATS.trials_run += 1`` is a read-modify-write and loses
+# updates under that concurrency (the pre-fabric bug this fixes).
+# ``_FABRIC_METRICS`` rides along: each finished broker merges its
+# ``fabric.*`` registry here so experiment manifests can carry queue /
+# lease / remote accounting without threading a registry through every
+# experiment signature.
 _RUN_STATS = RunStats()
+_FABRIC_METRICS = MetricsRegistry()
+_RUN_STATS_LOCK = threading.Lock()
 
 
 def reset_run_stats() -> None:
-    """Zero the module-level collector (call before an experiment)."""
-    global _RUN_STATS
-    _RUN_STATS = RunStats()
+    """Zero the module-level collectors (call before an experiment)."""
+    global _RUN_STATS, _FABRIC_METRICS
+    with _RUN_STATS_LOCK:
+        _RUN_STATS = RunStats()
+        _FABRIC_METRICS = MetricsRegistry()
 
 
 def run_stats() -> RunStats:
     """Snapshot of the collector since the last reset."""
-    return replace(_RUN_STATS)
+    with _RUN_STATS_LOCK:
+        return replace(_RUN_STATS)
 
 
-# ----------------------------------------------------------------------
-# worker plumbing
-# ----------------------------------------------------------------------
-def _trial_worker(
-    args: tuple[TrialFn | None, SimulationConfig, int, np.random.SeedSequence]
-) -> tuple[int, str, object, float]:
-    """Run one trial in a worker; exceptions come back as data.
-
-    Returns ``(index, "ok", result, seconds)`` or
-    ``(index, "err", traceback_string, seconds)`` — a raising trial must
-    not take down the pool (or, pre-3.11 ``Pool.map``, its siblings).
-    """
-    trial_fn, config, index, seed_seq = args
-    delay_ms = os.environ.get("REPRO_TRIAL_DELAY_MS")
-    if delay_ms:
-        time.sleep(int(delay_ms) / 1000.0)
-    # trial duration is reporting metadata, never simulation state
-    t0 = time.perf_counter()  # reprolint: disable=R002 (duration meta)
-    try:
-        fn = trial_fn if trial_fn is not None else run_trial
-        result = fn(config, seed_seq)
-        elapsed = time.perf_counter() - t0  # reprolint: disable=R002 (meta)
-        return (index, "ok", result, elapsed)
-    # worker boundary: *any* failure must come back as data, not take
-    # down the pool
-    except BaseException:  # reprolint: disable=R004 (worker boundary)
-        elapsed = time.perf_counter() - t0  # reprolint: disable=R002 (meta)
-        return (
-            index,
-            "err",
-            traceback.format_exc(limit=20),
-            elapsed,
-        )
+def fabric_metrics() -> MetricsRegistry:
+    """Accumulated ``fabric.*`` metrics since the last reset."""
+    snapshot = MetricsRegistry()
+    with _RUN_STATS_LOCK:
+        exported = _FABRIC_METRICS.as_dict()
+    snapshot.merge_counters(exported["counters"])
+    snapshot.merge_gauges(exported["gauges"])
+    return snapshot
 
 
-def _kill_workers(executor: ProcessPoolExecutor) -> None:
-    """Best-effort SIGKILL of a pool's workers (hung-trial recovery)."""
-    processes = getattr(executor, "_processes", None) or {}
-    for proc in list(processes.values()):
-        try:
-            proc.kill()
-        except (OSError, AttributeError):
-            pass
+def merge_fabric_metrics(registry: MetricsRegistry) -> None:
+    """Fold one broker's registry into the module collector
+    (thread-safe; called by :meth:`repro.fabric.broker.Broker.run`)."""
+    exported = registry.as_dict()
+    with _RUN_STATS_LOCK:
+        _FABRIC_METRICS.merge_counters(exported["counters"])
+        _FABRIC_METRICS.merge_gauges(exported["gauges"])
 
 
-def _run_batch_serial(
-    config: SimulationConfig,
-    batch: list[tuple[int, np.random.SeedSequence]],
-    trial_fn: TrialFn | None,
-    on_done: Callable[[int, str, object, float], None],
+def record_trial_run(
+    result: SimulationResult, seconds: float, *, remote: bool = False
 ) -> None:
-    for index, seed_seq in batch:
-        on_done(*_trial_worker((trial_fn, config, index, seed_seq)))
+    """Thread-safe accounting for one freshly computed trial."""
+    with _RUN_STATS_LOCK:
+        _RUN_STATS.trials_run += 1
+        _RUN_STATS.trial_seconds += seconds
+        if remote:
+            _RUN_STATS.trials_remote += 1
+        _RUN_STATS.note_outcome(result)
 
 
-def _run_batch_parallel(
-    config: SimulationConfig,
-    batch: list[tuple[int, np.random.SeedSequence]],
-    n_jobs: int,
-    timeout: float | None,
-    trial_fn: TrialFn | None,
-    on_done: Callable[[int, str, object, float], None],
-) -> None:
-    """Dispatch one attempt of every trial in ``batch`` to a fresh pool.
+def record_trial_cached(result: SimulationResult) -> None:
+    """Thread-safe accounting for one cache-settled trial."""
+    with _RUN_STATS_LOCK:
+        _RUN_STATS.trials_cached += 1
+        _RUN_STATS.note_outcome(result)
 
-    Per-trial dispatch (``submit`` per trial, not ``map``) means a dead
-    worker only loses the trials it was actually running: completed
-    futures have already been consumed, and the broken-pool error is
-    attributed to the in-flight trials, which the caller retries.
 
-    ``timeout`` bounds the wait for the *next* completion; trials of one
-    config do comparable work, so a window with zero completions means
-    the in-flight workers are hung and they are killed and retried.
-    """
-    ctx = mp.get_context("spawn")
-    executor = ProcessPoolExecutor(
-        max_workers=min(n_jobs, len(batch)), mp_context=ctx
-    )
-    try:
-        futures = {
-            executor.submit(_trial_worker, (trial_fn, config, i, seq)): i
-            for i, seq in batch
-        }
-        pending = set(futures)
-        while pending:
-            done, pending = wait(
-                pending, timeout=timeout, return_when=FIRST_COMPLETED
-            )
-            if not done:
-                # sorted: `pending` is a set; iterating it raw would
-                # attribute timeouts in hash order, making error order
-                # (and on_done bookkeeping) vary run to run.
-                stranded = sorted(pending, key=futures.__getitem__)
-                for fut in stranded:
-                    fut.cancel()
-                _kill_workers(executor)
-                for fut in stranded:
-                    on_done(
-                        futures[fut],
-                        "err",
-                        f"trial timed out (no completion within "
-                        f"{timeout}s window)",
-                        float(timeout or 0.0),
-                    )
-                return
-            for fut in sorted(done, key=futures.__getitem__):
-                index = futures[fut]
-                try:
-                    on_done(*fut.result())
-                # pool boundary: BrokenProcessPool / unpickle failures
-                except BaseException as exc:  # reprolint: disable=R004 (pool boundary)
-                    on_done(index, "err", f"worker died: {exc!r}", 0.0)
-    finally:
-        executor.shutdown(wait=False, cancel_futures=True)
+def record_retries(n: int = 1) -> None:
+    """Thread-safe accounting for ``n`` trial re-dispatches."""
+    with _RUN_STATS_LOCK:
+        _RUN_STATS.retries += n
+
+
+def record_trials_failed(n: int = 1) -> None:
+    """Thread-safe accounting for ``n`` trials failed beyond retry."""
+    with _RUN_STATS_LOCK:
+        _RUN_STATS.trials_failed += n
 
 
 # ----------------------------------------------------------------------
-# public entry points
+# public entry points (delegate to the fabric broker)
 # ----------------------------------------------------------------------
 def run_trials(
     config: SimulationConfig,
@@ -397,6 +360,11 @@ def run_trials(
     progress: Callable[[dict], None] | None = None,
 ) -> TrialSet:
     """Run ``n_trials`` independent trials of ``config``.
+
+    A thin wrapper over a single-point
+    :class:`~repro.fabric.broker.Broker` grid — the fabric owns
+    dispatch, caching, retries and timeouts; this function owns nothing
+    but the signature.
 
     Parameters
     ----------
@@ -426,7 +394,8 @@ def run_trials(
         by fault-injection tests and custom engines.
     progress:
         Optional callback receiving one dict per settled trial:
-        ``{"trial": i, "status": "cached"|"ok"|"err", "seconds": s}``.
+        ``{"trial": i, "point": p, "status": "cached"|"ok"|"err",
+        "seconds": s}``.
 
     Raises
     ------
@@ -436,101 +405,19 @@ def run_trials(
         completed siblings are already in the cache, so a re-run redoes
         only the failed trials.
     """
-    if n_trials < 1:
-        raise ConfigError(f"n_trials must be >= 1, got {n_trials}")
-    if retries < 0:
-        raise ConfigError(f"retries must be >= 0, got {retries}")
-    root = np.random.SeedSequence(config.seed)
-    children = root.spawn(n_trials)
+    from repro.fabric.broker import Broker
+    from repro.fabric.queue import GridPoint
 
-    if cache is None or cache is True:
-        cache_obj = get_cache() if (cache or config.seed is not None) else None
-    elif cache is False:
-        cache_obj = None
-    else:
-        cache_obj = cache
-    if config.seed is None:
-        # Fresh entropy every run: keys would never match again.
-        cache_obj = None
-
-    if n_jobs == 0:
-        n_jobs = default_n_jobs()
-
-    stats = _RUN_STATS
-    results: dict[int, SimulationResult] = {}
-    keys: dict[int, str] = {}
-
-    pending: list[int] = []
-    for i, child in enumerate(children):
-        if cache_obj is not None:
-            keys[i] = trial_key(config, child)
-            cached = cache_obj.load(keys[i])
-            if cached is not None:
-                results[i] = cached
-                stats.trials_cached += 1
-                stats.note_outcome(cached)
-                if progress is not None:
-                    progress({"trial": i, "status": "cached", "seconds": 0.0})
-                continue
-        pending.append(i)
-
-    attempts: dict[int, int] = {i: 0 for i in pending}
-    last_error: dict[int, str] = {}
-
-    def on_done(index: int, status: str, payload: object, seconds: float):
-        attempts[index] += 1
-        if status == "ok":
-            assert isinstance(payload, SimulationResult)
-            results[index] = payload
-            stats.trials_run += 1
-            stats.trial_seconds += seconds
-            stats.note_outcome(payload)
-            if cache_obj is not None:
-                cache_obj.store(keys[index], payload)
-        else:
-            last_error[index] = str(payload)
-        if progress is not None:
-            progress({"trial": index, "status": status, "seconds": seconds})
-
-    attempt = 0
-    while pending:
-        batch = [(i, children[i]) for i in pending]
-        if n_jobs > 1 and len(batch) > 1:
-            _run_batch_parallel(
-                config, batch, n_jobs, timeout, trial_fn, on_done
-            )
-        else:
-            _run_batch_serial(config, batch, trial_fn, on_done)
-        pending = sorted(i for i in pending if i not in results)
-        if not pending:
-            break
-        attempt += 1
-        if attempt > retries:
-            break
-        stats.retries += len(pending)
-
-    if pending:
-        stats.trials_failed += len(pending)
-        failures = tuple(
-            TrialFailure(
-                trial_index=i,
-                seed_entropy=children[i].entropy,
-                spawn_key=tuple(int(k) for k in children[i].spawn_key),
-                attempts=attempts[i],
-                error=last_error.get(i, "unknown error"),
-            )
-            for i in pending
-        )
-        lines = "\n".join(f"  - {f}" for f in failures)
-        raise TrialError(
-            f"{len(failures)}/{n_trials} trial(s) failed after "
-            f"{retries} retr{'y' if retries == 1 else 'ies'} "
-            f"({len(results)} completed and preserved):\n{lines}",
-            failures=failures,
-            n_completed=len(results),
-        )
-
-    return TrialSet(config=config, results=[results[i] for i in range(n_trials)])
+    broker = Broker(
+        [GridPoint(config=config, n_trials=n_trials)],
+        n_jobs=n_jobs,
+        cache=cache,
+        retries=retries,
+        timeout=timeout,
+        trial_fn=trial_fn,
+        progress=progress,
+    )
+    return broker.run()[0]
 
 
 def _point_seed(root_seed: int, fld: str, value: object) -> int:
@@ -543,6 +430,36 @@ def _point_seed(root_seed: int, fld: str, value: object) -> int:
     """
     payload = f"{root_seed}|{fld}|{value!r}".encode()
     return int.from_bytes(sha256(payload).digest()[:8], "little") >> 1
+
+
+def sweep_grid(
+    base: SimulationConfig,
+    field: str,
+    values: Sequence,
+    n_trials: int,
+    *,
+    common_random_numbers: bool = False,
+) -> "list[GridPoint]":
+    """The :class:`~repro.fabric.queue.GridPoint` list for a 1-D sweep.
+
+    This is the seed-derivation half of :func:`sweep`, split out so the
+    CLI's ``repro fabric run`` can build the identical grid (identical
+    per-point seeds, hence identical cache keys) and hand it to a
+    broker with fabric-only knobs attached.
+    """
+    from repro.fabric.queue import GridPoint
+
+    points = []
+    for v in values:
+        point = base.with_updates(**{field: v})
+        if (
+            not common_random_numbers
+            and field != "seed"
+            and base.seed is not None
+        ):
+            point = point.with_updates(seed=_point_seed(base.seed, field, v))
+        points.append(GridPoint(config=point, n_trials=n_trials))
+    return points
 
 
 def sweep(
@@ -567,28 +484,29 @@ def sweep(
     variance-reduction design, but it must be a choice, not an accident:
     pass ``common_random_numbers=True`` to opt back in.
 
-    Completion is recorded per trial in the content-addressed cache, so
-    an interrupted sweep re-run resumes at the first missing trial and
-    the merged result is bit-identical to an uninterrupted run.
+    The whole grid runs under **one** broker: one worker pool for the
+    sweep (instead of one per point), work units interleaving freely
+    across points, and — through ``repro fabric run`` — remote workers
+    that join mid-sweep.  Completion is recorded per trial in the
+    content-addressed cache, so an interrupted sweep re-run resumes at
+    the first missing trial and the merged result is bit-identical to an
+    uninterrupted run.
     """
-    out: list[TrialSet] = []
-    for v in values:
-        point = base.with_updates(**{field: v})
-        if (
-            not common_random_numbers
-            and field != "seed"
-            and base.seed is not None
-        ):
-            point = point.with_updates(seed=_point_seed(base.seed, field, v))
-        out.append(
-            run_trials(
-                point,
-                n_trials,
-                n_jobs=n_jobs,
-                cache=cache,
-                retries=retries,
-                timeout=timeout,
-                progress=progress,
-            )
-        )
-    return out
+    from repro.fabric.broker import Broker
+
+    grid = sweep_grid(
+        base,
+        field,
+        values,
+        n_trials,
+        common_random_numbers=common_random_numbers,
+    )
+    broker = Broker(
+        grid,
+        n_jobs=n_jobs,
+        cache=cache,
+        retries=retries,
+        timeout=timeout,
+        progress=progress,
+    )
+    return broker.run()

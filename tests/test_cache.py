@@ -181,3 +181,55 @@ class TestCacheCLI:
         data = json.loads(manifest.read_text())
         assert data["runs"][0]["experiment_id"] == "fig01"
         assert "run_stats" in data["runs"][0]
+
+
+class TestTempFileHygiene:
+    """Regressions for the orphaned-``.tmp-*`` bugs: staging files used
+    to be counted as entries, deleted out from under concurrent stores
+    by clear(), and accumulated forever after a SIGKILL mid-store."""
+
+    def _store_one(self, cache, config):
+        child = seed_children(config, 1)[0]
+        cache.store(trial_key(config, child), run_trial(config, child))
+
+    def test_entries_exclude_staging_files(self, tiny_config, tmp_path):
+        cache = TrialCache(tmp_path)
+        self._store_one(cache, tiny_config)
+        bucket = next(p for p in cache.trials_dir.iterdir() if p.is_dir())
+        (bucket / ".tmp-abc123.json").write_text("{half a write")
+        assert len(cache.entries()) == 1
+        assert not any(p.name.startswith(".tmp-") for p in cache.entries())
+        # clear() must not delete the in-flight temp either
+        assert cache.clear() == 1
+        assert (bucket / ".tmp-abc123.json").exists()
+
+    def test_init_sweeps_stale_tmp_only(self, tiny_config, tmp_path):
+        import os
+
+        cache = TrialCache(tmp_path)
+        self._store_one(cache, tiny_config)
+        bucket = next(p for p in cache.trials_dir.iterdir() if p.is_dir())
+        stale = bucket / ".tmp-stale.json"
+        fresh = bucket / ".tmp-fresh.json"
+        stale.write_text("{")
+        fresh.write_text("{")
+        old = stale.stat().st_mtime - (cache_mod.STALE_TMP_SECONDS + 60)
+        os.utime(stale, (old, old))
+        TrialCache(tmp_path)  # construction runs the sweep
+        assert not stale.exists()  # orphan reclaimed
+        assert fresh.exists()  # possibly another process's live write
+        assert len(TrialCache(tmp_path).entries()) == 1
+
+    def test_size_bytes_tolerates_vanishing_entry(
+        self, tiny_config, tmp_path, monkeypatch
+    ):
+        cache = TrialCache(tmp_path)
+        self._store_one(cache, tiny_config)
+        real = cache.entries()
+        ghost = cache.trials_dir / "ff" / f"{'f' * 64}.json"
+        monkeypatch.setattr(
+            TrialCache, "entries", lambda self: real + [ghost]
+        )
+        # the ghost was unlinked between glob and stat; no crash, and the
+        # surviving entry is still counted
+        assert cache.size_bytes() == real[0].stat().st_size
